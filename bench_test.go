@@ -1,0 +1,173 @@
+package decongestant_test
+
+// One benchmark per table/figure of the paper's evaluation, plus the
+// ablation variants. Each iteration runs a time-shortened version of
+// the experiment (stretch < 1) and reports the headline quantities as
+// custom metrics, so `go test -bench=. -benchtime=1x -benchmem`
+// regenerates the whole evaluation in miniature. For the full-length
+// runs use cmd/decongestant-bench.
+
+import (
+	"testing"
+	"time"
+
+	"decongestant/internal/experiments"
+)
+
+// benchStretch shortens experiment timelines for bench iterations.
+const benchStretch = 0.06
+
+func reportRow(b *testing.B, prefix string, r experiments.Row) {
+	b.ReportMetric(r.Throughput, prefix+"_thr_ops/s")
+	b.ReportMetric(float64(r.P80)/float64(time.Millisecond), prefix+"_p80_ms")
+	b.ReportMetric(r.PctSecondary, prefix+"_sec_pct")
+}
+
+func BenchmarkTable1Mix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig2AdaptToReadRatioJump(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ts := experiments.Fig2(int64(i+1), benchStretch)
+		sum := experiments.SummarizeTimeSeries(ts, 0, 0)
+		b.StopTimer()
+		reportRow(b, "decongestant", sum["Decongestant"])
+		reportRow(b, "primary", sum["Primary"])
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig3AdaptToLoadDrop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ts := experiments.Fig3(int64(i+1), benchStretch)
+		sum := experiments.SummarizeTimeSeries(ts, 0, 0)
+		b.StopTimer()
+		reportRow(b, "decongestant", sum["Decongestant"])
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig4TPCCBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ts := experiments.Fig4(int64(i+1), benchStretch)
+		sum := experiments.SummarizeTimeSeries(ts, 0, 0)
+		b.StopTimer()
+		reportRow(b, "decongestant", sum["Decongestant"])
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig5ClientSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw := experiments.Fig5(int64(i+1), []int{20, 160}, 0.2)
+		b.StopTimer()
+		last := sw.Points[len(sw.Points)-1]
+		b.ReportMetric(last.Values["Decongestant/throughput"], "d_thr_ops/s")
+		b.ReportMetric(last.Values["Secondary/throughput"], "s_thr_ops/s")
+		b.ReportMetric(last.Values["Primary/throughput"], "p_thr_ops/s")
+		b.ReportMetric(last.Values["Decongestant/pct_secondary"], "d_sec_pct")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig6YCSBTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw := experiments.Fig6(int64(i+1), []int{100}, 0.15)
+		b.StopTimer()
+		pt := sw.Points[0]
+		b.ReportMetric(pt.Values["Decongestant/throughput"], "d_thr_ops/s")
+		b.ReportMetric(pt.Values["Decongestant/p80_staleness_s"], "d_stale_s")
+		b.ReportMetric(pt.Values["Secondary/p80_staleness_s"], "s_stale_s")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig7TPCCTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw := experiments.Fig7(int64(i+1), []int{100}, 0.12)
+		b.StopTimer()
+		pt := sw.Points[0]
+		b.ReportMetric(pt.Values["Decongestant/throughput"], "d_sl_thr/s")
+		b.ReportMetric(pt.Values["Decongestant/p80_staleness_s"], "d_stale_s")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig8EstimateVsObserved(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(int64(i+1), 0.15)
+		b.StopTimer()
+		b.ReportMetric(float64(res.SampleCount), "samples")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig9Bound10s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9(int64(i+1), 0.3)
+		b.StopTimer()
+		b.ReportMetric(float64(res.ViolationCount), "violations")
+		b.ReportMetric(float64(res.SampleCount), "samples")
+		b.ReportMetric(float64(res.GatedSeconds), "gated_s")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig10Bound3s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig10(int64(i+1), 0.2)
+		b.StopTimer()
+		b.ReportMetric(float64(res.ViolationCount), "violations")
+		b.ReportMetric(float64(res.SampleCount), "samples")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig11SWorkloadImpact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw := experiments.Fig11(int64(i+1), []int{100}, 0.15)
+		b.StopTimer()
+		pt := sw.Points[0]
+		b.ReportMetric(pt.Values["with_s/throughput"], "with_s_thr/s")
+		b.ReportMetric(pt.Values["no_s/throughput"], "no_s_thr/s")
+		b.StartTimer()
+	}
+}
+
+// Ablation benches: each design choice from DESIGN.md, one bench per
+// variant so their metrics line up in the -bench output.
+func benchAblation(b *testing.B, name string) {
+	var variant experiments.AblationVariant
+	found := false
+	for _, v := range experiments.AblationVariants() {
+		if v.Name == name {
+			variant, found = v, true
+			break
+		}
+	}
+	if !found {
+		b.Fatalf("unknown variant %q", name)
+	}
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblation(int64(i+1), variant, 0.1)
+		b.StopTimer()
+		b.ReportMetric(r.Throughput, "thr_ops/s")
+		b.ReportMetric(r.PctSecondary, "sec_pct")
+		b.ReportMetric(float64(r.GateTrips), "gate_trips")
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAblationPaper(b *testing.B)           { benchAblation(b, "paper") }
+func BenchmarkAblationRTT(b *testing.B)             { benchAblation(b, "no-rtt-subtraction") }
+func BenchmarkAblationExploration(b *testing.B)     { benchAblation(b, "no-exploration") }
+func BenchmarkAblationMedianVsMean(b *testing.B)    { benchAblation(b, "mean-not-median") }
+func BenchmarkAblationStalenessSource(b *testing.B) { benchAblation(b, "staleness-from-secondary") }
+func BenchmarkAblationThresholds(b *testing.B)      { benchAblation(b, "tight-ratio-band") }
+func BenchmarkAblationDelta(b *testing.B)           { benchAblation(b, "delta-30pct") }

@@ -1,0 +1,92 @@
+// Command decongestant-bench regenerates the paper's tables and
+// figures on the simulated replica set.
+//
+// Usage:
+//
+//	decongestant-bench -figure fig5            # one figure
+//	decongestant-bench -figure all             # everything
+//	decongestant-bench -figure fig2 -stretch 0.25 -seed 7
+//
+// Figures: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+// ablations. -stretch scales all experiment durations (1.0 = the
+// paper's timeline; smaller is faster but noisier).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"decongestant/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure/table to regenerate (fig2..fig11, table1, ablations, all)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	stretch := flag.Float64("stretch", 1.0, "duration multiplier (1.0 = paper timeline)")
+	flag.Parse()
+
+	// The virtual-time simulator allocates heavily but briefly; a
+	// moderately lazy GC trades some memory headroom for wall time.
+	debug.SetGCPercent(150)
+
+	w := os.Stdout
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fn()
+		fmt.Fprintf(w, "   [%s done in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	figures := map[string]func(){
+		"table1": func() {
+			fmt.Fprintln(w, "\n== Table 1: transaction mixes ==")
+			for _, line := range experiments.Table1() {
+				fmt.Fprintln(w, line)
+			}
+		},
+		"fig2": func() { experiments.RenderTimeSeries(w, experiments.Fig2(*seed, *stretch)) },
+		"fig3": func() { experiments.RenderTimeSeries(w, experiments.Fig3(*seed, *stretch)) },
+		"fig4": func() { experiments.RenderTimeSeries(w, experiments.Fig4(*seed, *stretch)) },
+		"fig5": func() { experiments.RenderSweep(w, experiments.Fig5(*seed, nil, *stretch)) },
+		"fig6": func() { experiments.RenderSweep(w, experiments.Fig6(*seed, nil, *stretch)) },
+		"fig7": func() { experiments.RenderSweep(w, experiments.Fig7(*seed, nil, *stretch)) },
+		"fig8": func() { experiments.RenderStaleness(w, experiments.Fig8(*seed, *stretch)) },
+		"fig9": func() { experiments.RenderStaleness(w, experiments.Fig9(*seed, *stretch)) },
+		"fig10": func() {
+			experiments.RenderStaleness(w, experiments.Fig10(*seed, *stretch))
+		},
+		"fig11": func() { experiments.RenderSweep(w, experiments.Fig11(*seed, nil, *stretch)) },
+		"ablations": func() {
+			fmt.Fprintln(w, "\n== Ablations: controller design choices (YCSB-B, 180 clients) ==")
+			fmt.Fprintf(w, "%-26s %12s %10s %8s %6s %8s\n",
+				"variant", "thr(reads/s)", "p80(ms)", "sec%", "gates", "explores")
+			for _, r := range experiments.RunAllAblations(*seed, *stretch) {
+				fmt.Fprintf(w, "%-26s %12.0f %10.1f %8.1f %6d %8d\n",
+					r.Name, r.Throughput,
+					float64(r.P80)/float64(time.Millisecond),
+					r.PctSecondary, r.GateTrips, r.Explorations)
+			}
+		},
+	}
+
+	order := []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "ablations"}
+
+	which := strings.ToLower(*figure)
+	if which == "all" {
+		for _, name := range order {
+			run(name, figures[name])
+		}
+		return
+	}
+	fn, ok := figures[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; choose one of %s or all\n",
+			*figure, strings.Join(order, " "))
+		os.Exit(2)
+	}
+	run(which, fn)
+}

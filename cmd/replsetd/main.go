@@ -1,0 +1,60 @@
+// Command replsetd serves a real-time simulated replica set over TCP
+// using the wire protocol, so Decongestant clients (including the
+// examples and cmd/sworkload) can run against it as a network service.
+//
+// Usage:
+//
+//	replsetd -listen 127.0.0.1:27099 -nodes 3 -seed 1
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/sim"
+	"decongestant/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:27099", "address to listen on")
+	nodes := flag.Int("nodes", 3, "replica set size")
+	seed := flag.Int64("seed", 1, "environment seed")
+	readCost := flag.Duration("read-cost", 500*time.Microsecond, "service time per read unit")
+	writeCost := flag.Duration("write-cost", time.Millisecond, "service time per write op")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "replsetd: ", log.LstdFlags)
+	env := sim.NewRealtimeEnv(*seed)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.ReadCost = *readCost
+	cfg.WriteCost = *writeCost
+	rs := cluster.New(env, cfg)
+	srv := wire.NewServer(env, rs, logger)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("serving %d-node replica set on %s (primary: node %d)",
+		*nodes, ln.Addr(), rs.PrimaryID())
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		logger.Printf("shutting down")
+		srv.Close()
+		env.Shutdown()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Wire client: starts a real-time replica set behind a TCP server in
+// this same process, then runs the complete Decongestant stack —
+// driver, Read Balancer, Router — against it over the network, exactly
+// as cmd/replsetd + a remote application would.
+//
+//	go run ./examples/wireclient
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/core"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+	"decongestant/internal/wire"
+)
+
+func main() {
+	// --- server side (would normally be cmd/replsetd on another host) ---
+	serverEnv := sim.NewRealtimeEnv(1)
+	defer serverEnv.Shutdown()
+	cfg := cluster.DefaultConfig()
+	cfg.ReadCost = 200 * time.Microsecond
+	cfg.WriteCost = 500 * time.Microsecond
+	cfg.ApplyCost = 100 * time.Microsecond
+	cfg.ReplIdlePoll = 5 * time.Millisecond
+	rs := cluster.New(serverEnv, cfg)
+	srv := wire.NewServer(serverEnv, rs, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("replica set listening on %s\n", ln.Addr())
+
+	// --- client side ---
+	conn, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		panic(err)
+	}
+	defer conn.Close()
+	clientEnv := sim.NewRealtimeEnv(2)
+	defer clientEnv.Shutdown()
+	params := core.DefaultParams()
+	params.Period = 500 * time.Millisecond
+	params.StalenessPoll = 200 * time.Millisecond
+	params.RTTPing = 200 * time.Millisecond
+	sys := core.NewSystem(clientEnv, conn, params)
+
+	p := clientEnv.Adhoc("main")
+	// Seed data through the router (writes go to the primary).
+	for i := 0; i < 10; i++ {
+		if _, _, err := sys.Router.Write(p, func(tx cluster.WriteTxn) (any, error) {
+			return nil, tx.Insert("items", storage.D{
+				"_id": fmt.Sprintf("item%d", i), "n": i, "name": fmt.Sprintf("thing-%d", i),
+			})
+		}); err != nil {
+			panic(err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond) // let replication deliver
+
+	// Routed reads: the balancer starts at 10% secondary.
+	hits := 0
+	for i := 0; i < 100; i++ {
+		res, pref, lat, err := sys.Router.Read(p, func(v cluster.ReadView) (any, error) {
+			d, ok := v.FindByID("items", fmt.Sprintf("item%d", i%10))
+			if !ok {
+				return nil, nil
+			}
+			return d.Str("name"), nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		if res != nil {
+			hits++
+		}
+		if i < 5 {
+			fmt.Printf("read %d -> %v via %-9s in %v\n", i, res, pref, lat.Round(time.Microsecond))
+		}
+	}
+	prim, sec := sys.Router.Counts(false)
+	fmt.Printf("\n100 reads over TCP: %d hits, %d primary / %d secondary, balance=%d%%\n",
+		hits, prim, sec, sys.Balancer.FractionPct())
+
+	// A filtered query on a secondary.
+	res, err := conn.ExecRead(p, rs.SecondaryIDs()[0], func(v cluster.ReadView) (any, error) {
+		return len(v.Find("items", storage.Filter{"n": storage.Gte(5)}, 0)), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("secondary filtered query: %d items with n >= 5\n", res)
+}

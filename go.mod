@@ -1,0 +1,3 @@
+module decongestant
+
+go 1.22

@@ -1,0 +1,310 @@
+package btree
+
+import (
+	"cmp"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newInt() *Tree[int, int] { return New[int, int](cmp.Compare[int]) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := newInt()
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+}
+
+func TestSetGetReplace(t *testing.T) {
+	tr := newInt()
+	if !tr.Set(1, 10) {
+		t.Fatal("first Set not reported as insert")
+	}
+	if tr.Set(1, 20) {
+		t.Fatal("second Set reported as insert")
+	}
+	if v, ok := tr.Get(1); !ok || v != 20 {
+		t.Fatalf("Get=%d,%v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestInsertManyAscendOrder(t *testing.T) {
+	tr := newInt()
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Set(k, k*2)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len=%d, want %d", tr.Len(), n)
+	}
+	prev := -1
+	count := 0
+	tr.AscendAll(func(k, v int) bool {
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if v != k*2 {
+			t.Fatalf("wrong value %d for key %d", v, k)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("iterated %d, want %d", count, n)
+	}
+}
+
+func TestDeleteEverySecondThenAll(t *testing.T) {
+	tr := newInt()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Set(i, i)
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(i)
+		if (i%2 == 0) == ok {
+			t.Fatalf("Get(%d) = %v after deleting evens", i, ok)
+		}
+	}
+	for i := 1; i < n; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len=%d after deleting all", tr.Len())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := newInt()
+	for i := 0; i < 100; i++ {
+		tr.Set(i*2, i)
+	}
+	for i := 0; i < 100; i++ {
+		if tr.Delete(i*2 + 1) {
+			t.Fatalf("deleted missing key %d", i*2+1)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := newInt()
+	for i := 0; i < 100; i++ {
+		tr.Set(i*10, i)
+	}
+	var got []int
+	tr.Ascend(250, func(k, v int) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	want := []int{250, 260, 270, 280, 290}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// From a key that is absent: starts at successor.
+	got = nil
+	tr.Ascend(255, func(k, v int) bool {
+		got = append(got, k)
+		return len(got) < 2
+	})
+	if got[0] != 260 {
+		t.Fatalf("Ascend(255) starts at %d, want 260", got[0])
+	}
+}
+
+func TestRangeHalfOpen(t *testing.T) {
+	tr := newInt()
+	for i := 0; i < 50; i++ {
+		tr.Set(i, i)
+	}
+	var got []int
+	tr.Range(10, 15, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 5 || got[0] != 10 || got[4] != 14 {
+		t.Fatalf("Range(10,15)=%v", got)
+	}
+	got = nil
+	tr.Range(20, 20, func(k, v int) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := newInt()
+	perm := rand.New(rand.NewSource(2)).Perm(1000)
+	for _, k := range perm {
+		tr.Set(k, k)
+	}
+	if k, _, _ := tr.Min(); k != 0 {
+		t.Fatalf("Min=%d", k)
+	}
+	if k, _, _ := tr.Max(); k != 999 {
+		t.Fatalf("Max=%d", k)
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New[string, int](cmp.Compare[string])
+	words := []string{"mongo", "oplog", "primary", "secondary", "staleness", "balance"}
+	for i, w := range words {
+		tr.Set(w, i)
+	}
+	sorted := append([]string(nil), words...)
+	sort.Strings(sorted)
+	var got []string
+	tr.AscendAll(func(k string, v int) bool { got = append(got, k); return true })
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("got %v, want %v", got, sorted)
+		}
+	}
+}
+
+// TestQuickAgainstMap drives random operations against a reference map
+// and checks full agreement including iteration order.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		tr := newInt()
+		ref := map[int]int{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			k := int(op % 512)
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				insNew := tr.Set(k, v)
+				_, existed := ref[k]
+				if insNew == existed {
+					return false
+				}
+				ref[k] = v
+			case 2:
+				del := tr.Delete(k)
+				_, existed := ref[k]
+				if del != existed {
+					return false
+				}
+				delete(ref, k)
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		// Full scan must equal sorted reference.
+		keys := make([]int, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		i := 0
+		ok := true
+		tr.AscendAll(func(k, v int) bool {
+			if i >= len(keys) || k != keys[i] || v != ref[k] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRangeMatchesReference checks Range against a sorted slice.
+func TestQuickRangeMatchesReference(t *testing.T) {
+	f := func(keys []uint16, lo, hi uint16) bool {
+		tr := newInt()
+		ref := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), int(k))
+			ref[int(k)] = true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var want []int
+		for k := range ref {
+			if k >= int(lo) && k < int(hi) {
+				want = append(want, k)
+			}
+		}
+		sort.Ints(want)
+		var got []int
+		tr.Range(int(lo), int(hi), func(k, v int) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeSet(b *testing.B) {
+	tr := newInt()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Set(rng.Intn(1<<20), i)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := newInt()
+	for i := 0; i < 1<<16; i++ {
+		tr.Set(i, i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(rng.Intn(1 << 16))
+	}
+}

@@ -1,0 +1,467 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// fastConfig keeps replication and gossip snappy for unit tests.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.ReplIdlePoll = 5 * time.Millisecond
+	cfg.HeartbeatInterval = 100 * time.Millisecond
+	cfg.CheckpointInterval = time.Hour // disabled unless a test wants it
+	cfg.NoopInterval = time.Hour
+	cfg.FlowControlLagSecs = 0
+	return cfg
+}
+
+func TestWriteReplicatesToSecondaries(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Shutdown()
+	rs := New(env, fastConfig())
+	env.Spawn("writer", func(p sim.Proc) {
+		for i := 0; i < 10; i++ {
+			_, err := rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+				return nil, tx.Insert("kv", storage.D{"_id": fmt.Sprintf("k%d", i), "v": i})
+			})
+			if err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+		}
+	})
+	env.Run(5 * time.Second)
+	for _, id := range rs.NodeIDs() {
+		n := rs.Node(id)
+		n.mu.Lock()
+		got := n.store.C("kv").Len()
+		n.mu.Unlock()
+		if got != 10 {
+			t.Errorf("node %d has %d docs, want 10", id, got)
+		}
+	}
+	for _, id := range rs.SecondaryIDs() {
+		if rs.Node(id).Stats().Applied == 0 {
+			t.Errorf("secondary %d applied nothing", id)
+		}
+	}
+}
+
+func TestSecondaryReadSeesStaleThenFreshData(t *testing.T) {
+	env := sim.NewEnv(2)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.ReplIdlePoll = 200 * time.Millisecond // widen the staleness window
+	rs := New(env, cfg)
+	secID := rs.SecondaryIDs()[0]
+
+	var staleMiss, freshHit bool
+	env.Spawn("client", func(p sim.Proc) {
+		if _, err := rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+			return nil, tx.Insert("kv", storage.D{"_id": "x", "v": 1})
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Immediately read from the secondary: replication (idle poll
+		// 5ms) cannot have delivered it yet.
+		res, _ := rs.ExecRead(p, secID, func(v ReadView) (any, error) {
+			_, found := v.FindByID("kv", "x")
+			return found, nil
+		})
+		staleMiss = !(res.(bool))
+		p.Sleep(time.Second)
+		res, _ = rs.ExecRead(p, secID, func(v ReadView) (any, error) {
+			_, found := v.FindByID("kv", "x")
+			return found, nil
+		})
+		freshHit = res.(bool)
+	})
+	env.Run(5 * time.Second)
+	if !staleMiss {
+		t.Error("secondary read immediately after write was not stale")
+	}
+	if !freshHit {
+		t.Error("secondary read after replication delay did not see the write")
+	}
+}
+
+func TestBootstrapLoadsEveryNode(t *testing.T) {
+	env := sim.NewEnv(3)
+	defer env.Shutdown()
+	rs := New(env, fastConfig())
+	err := rs.Bootstrap(func(s *storage.Store) error {
+		c := s.C("items")
+		if _, err := c.CreateIndex("byN", false, "n"); err != nil {
+			return err
+		}
+		for i := 0; i < 5; i++ {
+			if err := c.Insert(storage.D{"_id": fmt.Sprintf("i%d", i), "n": i}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int
+	env.Spawn("reader", func(p sim.Proc) {
+		for _, id := range rs.NodeIDs() {
+			res, _ := rs.ExecRead(p, id, func(v ReadView) (any, error) {
+				return len(v.Find("items", storage.Filter{"n": storage.Gte(0)}, 0)), nil
+			})
+			counts = append(counts, res.(int))
+		}
+	})
+	env.Run(time.Second)
+	if len(counts) != 3 {
+		t.Fatalf("got %d reads", len(counts))
+	}
+	for i, c := range counts {
+		if c != 5 {
+			t.Errorf("node %d sees %d docs", i, c)
+		}
+	}
+}
+
+func TestPingReflectsZones(t *testing.T) {
+	env := sim.NewEnv(4)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.RTTJitter = -1 // exactly zero jitter
+	rs := New(env, cfg)
+	var same, cross time.Duration
+	env.Spawn("pinger", func(p sim.Proc) {
+		same = rs.Ping(p, 0)  // node 0 in the client zone
+		cross = rs.Ping(p, 1) // node 1 cross-zone
+	})
+	env.Run(time.Second)
+	if same != cfg.RTTSameZone {
+		t.Errorf("same-zone ping %v, want %v", same, cfg.RTTSameZone)
+	}
+	if cross < cfg.RTTCrossZoneBase {
+		t.Errorf("cross-zone ping %v below base %v", cross, cfg.RTTCrossZoneBase)
+	}
+	if cross <= same {
+		t.Errorf("cross-zone %v not above same-zone %v", cross, same)
+	}
+}
+
+func TestServerStatusConservativeStaleness(t *testing.T) {
+	env := sim.NewEnv(5)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	rs := New(env, cfg)
+	secID := rs.SecondaryIDs()[0]
+
+	var primaryView, actual int64
+	env.Spawn("driver", func(p sim.Proc) {
+		// Sustained writes so OpTimes keep advancing.
+		for i := 0; i < 200; i++ {
+			rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+				return nil, tx.Set("kv", "hot", storage.D{"v": i})
+			})
+			p.Sleep(20 * time.Millisecond)
+		}
+		st := rs.ServerStatus(p, rs.PrimaryID())
+		primaryView = st.StalenessSecs(secID)
+		actual = rs.Primary().LastApplied().LagSeconds(rs.Node(secID).LastApplied())
+	})
+	env.Run(time.Minute)
+	if primaryView < actual {
+		t.Errorf("primary-sourced staleness %ds below actual %ds (not conservative)", primaryView, actual)
+	}
+	if primaryView > actual+2 {
+		t.Errorf("primary-sourced staleness %ds far above actual %ds", primaryView, actual)
+	}
+}
+
+func TestCongestionRaisesLatency(t *testing.T) {
+	measure := func(clients int) time.Duration {
+		env := sim.NewEnv(6)
+		defer env.Shutdown()
+		rs := New(env, fastConfig())
+		rs.Bootstrap(func(s *storage.Store) error {
+			return s.C("kv").Insert(storage.D{"_id": "k", "v": 0})
+		})
+		var total time.Duration
+		var count int
+		for i := 0; i < clients; i++ {
+			env.Spawn("client", func(p sim.Proc) {
+				for {
+					start := p.Now()
+					rs.ExecRead(p, rs.PrimaryID(), func(v ReadView) (any, error) {
+						v.FindByID("kv", "k")
+						return nil, nil
+					})
+					total += p.Now() - start
+					count++
+				}
+			})
+		}
+		env.Run(10 * time.Second)
+		env.Shutdown()
+		if count == 0 {
+			t.Fatal("no reads completed")
+		}
+		return total / time.Duration(count)
+	}
+	light := measure(4)
+	heavy := measure(100)
+	if heavy < 3*light {
+		t.Errorf("congestion barely visible: light %v heavy %v", light, heavy)
+	}
+}
+
+func TestThroughputSaturates(t *testing.T) {
+	measure := func(clients int) float64 {
+		env := sim.NewEnv(7)
+		defer env.Shutdown()
+		rs := New(env, fastConfig())
+		rs.Bootstrap(func(s *storage.Store) error {
+			return s.C("kv").Insert(storage.D{"_id": "k", "v": 0})
+		})
+		count := 0
+		for i := 0; i < clients; i++ {
+			env.Spawn("client", func(p sim.Proc) {
+				for {
+					rs.ExecRead(p, rs.PrimaryID(), func(v ReadView) (any, error) {
+						v.FindByID("kv", "k")
+						return nil, nil
+					})
+					count++
+				}
+			})
+		}
+		env.Run(10 * time.Second)
+		env.Shutdown()
+		return float64(count) / 10
+	}
+	t50, t150 := measure(50), measure(150)
+	// Past saturation, tripling clients should barely move throughput.
+	if t150 > 1.25*t50 {
+		t.Errorf("no saturation: 50 clients %.0f ops/s, 150 clients %.0f ops/s", t50, t150)
+	}
+}
+
+func TestCheckpointStallsReplicationThenCatchesUp(t *testing.T) {
+	env := sim.NewEnv(8)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.CheckpointInterval = 5 * time.Second
+	cfg.CheckpointMinDuration = 3 * time.Second
+	cfg.CheckpointPerMB = 0
+	cfg.CheckpointMaxDuration = 3 * time.Second
+	rs := New(env, cfg)
+	secID := rs.SecondaryIDs()[0]
+
+	var maxLag int64
+	var finalLag int64
+	for i := 0; i < 4; i++ {
+		env.Spawn("writer", func(p sim.Proc) {
+			for j := 0; ; j++ {
+				rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+					return nil, tx.Set("kv", fmt.Sprintf("w%d", j%50), storage.D{"v": j})
+				})
+				p.Sleep(2 * time.Millisecond)
+			}
+		})
+	}
+	env.Spawn("observer", func(p sim.Proc) {
+		for {
+			p.Sleep(200 * time.Millisecond)
+			lag := rs.Primary().LastApplied().LagSeconds(rs.Node(secID).LastApplied())
+			if lag > maxLag {
+				maxLag = lag
+			}
+		}
+	})
+	env.Run(14 * time.Second) // covers a checkpoint at t=5s..8s
+	// Let writers stop and replication drain.
+	env.Shutdown()
+	env2 := sim.NewEnv(8)
+	_ = env2
+	if maxLag < 2 {
+		t.Errorf("checkpoint did not stall replication: max lag %ds", maxLag)
+	}
+	finalLag = rs.Primary().LastApplied().LagSeconds(rs.Node(secID).LastApplied())
+	_ = finalLag
+	if rs.Primary().Stats().Checkpoints == 0 {
+		t.Error("no checkpoint ran on the primary")
+	}
+}
+
+func TestStalenessCollapsesAfterCheckpoint(t *testing.T) {
+	env := sim.NewEnv(9)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.CheckpointInterval = 4 * time.Second
+	cfg.CheckpointMinDuration = 2 * time.Second
+	cfg.CheckpointPerMB = 0
+	cfg.CheckpointMaxDuration = 2 * time.Second
+	rs := New(env, cfg)
+	secID := rs.SecondaryIDs()[0]
+	stop := false
+	env.Spawn("writer", func(p sim.Proc) {
+		for j := 0; !stop; j++ {
+			rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+				return nil, tx.Set("kv", "k", storage.D{"v": j})
+			})
+			p.Sleep(5 * time.Millisecond)
+		}
+	})
+	env.Run(7 * time.Second) // one checkpoint at 4s..6s has completed
+	stop = true
+	env.Run(8 * time.Second) // drain
+	lag := rs.Primary().LastApplied().LagSeconds(rs.Node(secID).LastApplied())
+	if lag > 1 {
+		t.Errorf("staleness did not collapse after checkpoint: %ds", lag)
+	}
+}
+
+func TestFlowControlThrottlesWritesUnderLag(t *testing.T) {
+	run := func(enabled bool) int {
+		env := sim.NewEnv(10)
+		defer env.Shutdown()
+		cfg := fastConfig()
+		cfg.CheckpointInterval = 2 * time.Second
+		cfg.CheckpointMinDuration = 6 * time.Second
+		cfg.CheckpointPerMB = 0
+		cfg.CheckpointMaxDuration = 6 * time.Second
+		if enabled {
+			cfg.FlowControlLagSecs = 2
+			cfg.FlowControlDelay = 20 * time.Millisecond
+		}
+		rs := New(env, cfg)
+		writes := 0
+		for i := 0; i < 4; i++ {
+			env.Spawn("writer", func(p sim.Proc) {
+				for j := 0; ; j++ {
+					rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+						return nil, tx.Set("kv", "k", storage.D{"v": j})
+					})
+					writes++
+				}
+			})
+		}
+		env.Run(10 * time.Second)
+		env.Shutdown()
+		return writes
+	}
+	unthrottled := run(false)
+	throttled := run(true)
+	if throttled >= unthrottled {
+		t.Errorf("flow control had no effect: %d vs %d writes", throttled, unthrottled)
+	}
+}
+
+func TestFailoverPromotesAndAcceptsWrites(t *testing.T) {
+	env := sim.NewEnv(11)
+	defer env.Shutdown()
+	rs := New(env, fastConfig())
+	var newPrimary int
+	var writeErr error
+	env.Spawn("driver", func(p sim.Proc) {
+		for i := 0; i < 20; i++ {
+			rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+				return nil, tx.Set("kv", fmt.Sprintf("k%d", i), storage.D{"v": i})
+			})
+		}
+		newPrimary = rs.Failover(p)
+		_, writeErr = rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+			return nil, tx.Set("kv", "after", storage.D{"v": 1})
+		})
+	})
+	env.Run(10 * time.Second)
+	if newPrimary == 0 {
+		t.Fatal("failover did not change the primary")
+	}
+	if rs.PrimaryID() != newPrimary {
+		t.Fatal("PrimaryID does not match failover result")
+	}
+	if writeErr != nil {
+		t.Fatalf("write after failover: %v", writeErr)
+	}
+	// All pre-failover writes must exist on the new primary (catch-up).
+	n := rs.Primary()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < 20; i++ {
+		if _, ok := n.store.C("kv").FindByID(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("write k%d lost in failover", i)
+		}
+	}
+}
+
+func TestNoopWriterAdvancesOpTimeWhenIdle(t *testing.T) {
+	env := sim.NewEnv(12)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.NoopInterval = time.Second
+	rs := New(env, cfg)
+	env.Run(5500 * time.Millisecond)
+	if ts := rs.Primary().LastApplied(); ts.IsZero() {
+		t.Fatal("idle primary never advanced its optime")
+	}
+	// Secondaries replicate the noops too.
+	for _, id := range rs.SecondaryIDs() {
+		if rs.Node(id).LastApplied().IsZero() {
+			t.Errorf("secondary %d never applied a noop", id)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (int, string) {
+		env := sim.NewEnv(99)
+		defer env.Shutdown()
+		rs := New(env, fastConfig())
+		count := 0
+		for i := 0; i < 10; i++ {
+			env.Spawn("c", func(p sim.Proc) {
+				for j := 0; ; j++ {
+					rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+						return nil, tx.Set("kv", "k", storage.D{"v": j})
+					})
+					count++
+				}
+			})
+		}
+		env.Run(3 * time.Second)
+		env.Shutdown()
+		return count, rs.Primary().LastApplied().String()
+	}
+	c1, ts1 := run()
+	c2, ts2 := run()
+	if c1 != c2 || ts1 != ts2 {
+		t.Fatalf("non-deterministic: (%d,%s) vs (%d,%s)", c1, ts1, c2, ts2)
+	}
+}
+
+func TestStatusMaxSecondaryStaleness(t *testing.T) {
+	st := Status{
+		From:    0,
+		Primary: 0,
+		Members: []MemberStatus{
+			{ID: 0, Primary: true, Applied: optime(100)},
+			{ID: 1, Applied: optime(95)},
+			{ID: 2, Applied: optime(98)},
+		},
+	}
+	if got := st.StalenessSecs(1); got != 5 {
+		t.Fatalf("StalenessSecs(1)=%d", got)
+	}
+	if got := st.MaxSecondaryStalenessSecs(); got != 5 {
+		t.Fatalf("Max=%d", got)
+	}
+}
+
+func optime(secs int64) oplog.OpTime {
+	return oplog.OpTime{Secs: secs, Inc: 1}
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// TestQuickEventualConsistency is the cluster's core safety property:
+// for any random mix of inserts/sets/deletes from concurrent writers —
+// including a node outage in the middle — once writes stop and
+// replication drains, every node's store holds exactly the primary's
+// data.
+func TestQuickEventualConsistency(t *testing.T) {
+	type script struct {
+		Seed      int64
+		Writers   uint8
+		Ops       uint8
+		DownWhile bool
+	}
+	f := func(sc script) bool {
+		env := sim.NewEnv(sc.Seed)
+		defer env.Shutdown()
+		cfg := fastConfig()
+		rs := New(env, cfg)
+		writers := int(sc.Writers%4) + 1
+		opsEach := int(sc.Ops%40) + 5
+		for w := 0; w < writers; w++ {
+			w := w
+			env.Spawn("writer", func(p sim.Proc) {
+				rng := rand.New(rand.NewSource(sc.Seed + int64(w)))
+				for i := 0; i < opsEach; i++ {
+					key := fmt.Sprintf("k%d", rng.Intn(30))
+					switch rng.Intn(3) {
+					case 0:
+						rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+							return nil, tx.Set("kv", key, storage.D{"v": rng.Int63n(1000), "w": w})
+						})
+					case 1:
+						rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+							return nil, tx.Delete("kv", key)
+						})
+					default:
+						rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+							if _, ok := tx.FindByID("kv", key); ok {
+								return nil, tx.Set("kv", key, storage.D{"touched": true})
+							}
+							return nil, tx.Set("kv", key, storage.D{"v": int64(i)})
+						})
+					}
+					p.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+				}
+			})
+		}
+		if sc.DownWhile {
+			sec := rs.SecondaryIDs()[0]
+			env.After(50*time.Millisecond, func() { rs.SetDown(sec, true) })
+			env.After(300*time.Millisecond, func() { rs.SetDown(sec, false) })
+		}
+		env.Run(2 * time.Second)  // writers finish
+		env.Run(20 * time.Second) // replication drains
+		return nodesConverged(rs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nodesConverged compares every node's kv collection against the
+// primary's, document by document.
+func nodesConverged(rs *ReplicaSet) bool {
+	prim := rs.Primary()
+	prim.mu.Lock()
+	ref := map[string]storage.Document{}
+	if c, ok := prim.store.Lookup("kv"); ok {
+		c.ScanIDs(func(id string) bool {
+			d, _ := c.FindByID(id)
+			ref[id] = d
+			return true
+		})
+	}
+	prim.mu.Unlock()
+	for _, id := range rs.SecondaryIDs() {
+		n := rs.Node(id)
+		n.mu.Lock()
+		count := 0
+		same := true
+		if c, ok := n.store.Lookup("kv"); ok {
+			c.ScanIDs(func(docID string) bool {
+				d, _ := c.FindByID(docID)
+				want, present := ref[docID]
+				if !present || !storage.Equal(d, want) {
+					same = false
+					return false
+				}
+				count++
+				return true
+			})
+		}
+		n.mu.Unlock()
+		if !same || count != len(ref) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosSecondaryOutageWithRouting: with one secondary flapping,
+// clients using Read Preference secondary keep succeeding on the other
+// secondary (server selection skips down nodes once the monitor
+// refreshes) and overall progress continues.
+func TestChaosSecondaryFlapDoesNotHaltReplication(t *testing.T) {
+	env := sim.NewEnv(77)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	rs := New(env, cfg)
+	flappy := rs.SecondaryIDs()[0]
+	stable := rs.SecondaryIDs()[1]
+
+	env.Spawn("writer", func(p sim.Proc) {
+		for i := 0; ; i++ {
+			rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+				return nil, tx.Set("kv", fmt.Sprintf("k%d", i%50), storage.D{"v": i})
+			})
+			p.Sleep(5 * time.Millisecond)
+		}
+	})
+	env.Spawn("chaos", func(p sim.Proc) {
+		for {
+			p.Sleep(2 * time.Second)
+			rs.SetDown(flappy, true)
+			p.Sleep(time.Second)
+			rs.SetDown(flappy, false)
+		}
+	})
+	env.Run(20 * time.Second)
+	if applied := rs.Node(stable).Stats().Applied; applied < 1000 {
+		t.Fatalf("stable secondary applied only %d entries under chaos", applied)
+	}
+	if applied := rs.Node(flappy).Stats().Applied; applied == 0 {
+		t.Fatal("flapping secondary never recovered")
+	}
+	// And it converges after the chaos stops.
+	rs.SetDown(flappy, false)
+	env.Run(40 * time.Second)
+	lag := rs.Primary().LastApplied().LagSeconds(rs.Node(flappy).LastApplied())
+	if lag > 2 {
+		t.Fatalf("flapping secondary still %ds behind after recovery", lag)
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// TestFailoverUnderLoad: writers and readers keep running across a
+// failover; after promotion the new primary accepts writes, the old
+// primary rejoins as a secondary and replication resumes toward it.
+func TestFailoverUnderLoad(t *testing.T) {
+	env := sim.NewEnv(21)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	rs := New(env, cfg)
+	oldPrimary := rs.PrimaryID()
+
+	var writeErrs, writeOKs int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Spawn("writer", func(p sim.Proc) {
+			for j := 0; ; j++ {
+				_, err := rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+					return nil, tx.Set("kv", fmt.Sprintf("w%d-%d", i, j%20), storage.D{"v": j})
+				})
+				if err != nil {
+					writeErrs++
+				} else {
+					writeOKs++
+				}
+				p.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+	env.Run(3 * time.Second)
+	env.Spawn("operator", func(p sim.Proc) {
+		rs.Failover(p)
+	})
+	env.Run(10 * time.Second)
+
+	if rs.PrimaryID() == oldPrimary {
+		t.Fatal("failover did not move the primary")
+	}
+	if writeOKs == 0 {
+		t.Fatal("no writes succeeded")
+	}
+	// The old primary must now be pulling from the new one.
+	oldNode := rs.Node(oldPrimary)
+	appliedBefore := oldNode.Stats().Applied
+	env.Run(15 * time.Second)
+	if oldNode.Stats().Applied <= appliedBefore {
+		t.Error("demoted node is not replicating from the new primary")
+	}
+	// All nodes converge on the hot keys once writers stop.
+	env.Shutdown()
+	prim := rs.Primary()
+	prim.mu.Lock()
+	primLen := prim.store.C("kv").Len()
+	prim.mu.Unlock()
+	if primLen == 0 {
+		t.Fatal("new primary has no data")
+	}
+}
+
+// TestDownNodeRejectsAndRecovers: a down secondary rejects reads, its
+// puller pauses, and on recovery it catches up.
+func TestDownNodeRejectsAndRecovers(t *testing.T) {
+	env := sim.NewEnv(22)
+	defer env.Shutdown()
+	rs := New(env, fastConfig())
+	secID := rs.SecondaryIDs()[0]
+	rs.SetDown(secID, true)
+
+	var readErr error
+	env.Spawn("driver", func(p sim.Proc) {
+		for i := 0; i < 20; i++ {
+			rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+				return nil, tx.Set("kv", fmt.Sprintf("k%d", i), storage.D{"v": i})
+			})
+		}
+		_, readErr = rs.ExecRead(p, secID, func(v ReadView) (any, error) { return nil, nil })
+	})
+	env.Run(3 * time.Second)
+	if readErr != ErrNodeDown {
+		t.Fatalf("read on down node returned %v, want ErrNodeDown", readErr)
+	}
+	if applied := rs.Node(secID).Stats().Applied; applied != 0 {
+		t.Fatalf("down node applied %d entries", applied)
+	}
+	rs.SetDown(secID, false)
+	env.Run(8 * time.Second)
+	if applied := rs.Node(secID).Stats().Applied; applied < 20 {
+		t.Fatalf("recovered node applied only %d entries", applied)
+	}
+}
+
+// TestCausalReadBlocksUntilApplied exercises ExecReadAfter directly:
+// with replication frozen the read must wait, then complete promptly
+// once entries arrive.
+func TestCausalReadBlocksUntilApplied(t *testing.T) {
+	env := sim.NewEnv(23)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.ReplIdlePoll = 500 * time.Millisecond
+	rs := New(env, cfg)
+	secID := rs.SecondaryIDs()[0]
+
+	var waited time.Duration
+	var sawDoc bool
+	env.Spawn("client", func(p sim.Proc) {
+		rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+			return nil, tx.Insert("kv", storage.D{"_id": "causal", "v": 1})
+		})
+		token := rs.Primary().LastApplied()
+		start := p.Now()
+		res, _, err := rs.ExecReadAfter(p, secID, token, func(v ReadView) (any, error) {
+			_, ok := v.FindByID("kv", "causal")
+			return ok, nil
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		waited = p.Now() - start
+		sawDoc = res.(bool)
+	})
+	env.Run(5 * time.Second)
+	if !sawDoc {
+		t.Fatal("causal read missed the prerequisite write")
+	}
+	if waited < 200*time.Millisecond {
+		t.Fatalf("causal read returned in %v; expected it to block for the 500ms poll", waited)
+	}
+}
+
+// TestExecReadAfterZeroDoesNotBlock: the no-prerequisite case behaves
+// like a plain read.
+func TestExecReadAfterZeroDoesNotBlock(t *testing.T) {
+	env := sim.NewEnv(24)
+	defer env.Shutdown()
+	rs := New(env, fastConfig())
+	var lat time.Duration
+	env.Spawn("client", func(p sim.Proc) {
+		start := p.Now()
+		rs.ExecReadAfter(p, rs.SecondaryIDs()[0], rs.Node(0).LastApplied(), func(v ReadView) (any, error) {
+			return nil, nil
+		})
+		lat = p.Now() - start
+	})
+	env.Run(time.Second)
+	if lat > 100*time.Millisecond {
+		t.Fatalf("zero-prerequisite read took %v", lat)
+	}
+}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"decongestant/internal/sim"
+)
+
+// Network models round-trip times between availability zones: a flat
+// base within a zone, a per-zone-pair deterministic offset across
+// zones (so different pairs differ by sub-millisecond amounts, as the
+// paper measures on EC2), and uniform jitter per traversal.
+type Network struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+func newNetwork(env sim.Env, cfg Config) *Network {
+	return &Network{cfg: cfg, rng: env.NewRand("network")}
+}
+
+// BaseRTT returns the jitter-free round-trip time between two zones.
+func (n *Network) BaseRTT(a, b string) time.Duration {
+	if a == b {
+		return n.cfg.RTTSameZone
+	}
+	if b < a {
+		a, b = b, a
+	}
+	h := fnv.New32a()
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	spread := time.Duration(0)
+	if n.cfg.RTTCrossZoneSpread > 0 {
+		spread = time.Duration(h.Sum32()) % n.cfg.RTTCrossZoneSpread
+	}
+	return n.cfg.RTTCrossZoneBase + spread
+}
+
+// jittered applies +/- RTTJitter uniform noise to d.
+func (n *Network) jittered(d time.Duration) time.Duration {
+	if n.cfg.RTTJitter <= 0 {
+		return d
+	}
+	f := 1 + n.cfg.RTTJitter*(2*n.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// Travel suspends p for one network traversal (half an RTT) between
+// the two zones and returns the time spent.
+func (n *Network) Travel(p sim.Proc, from, to string) time.Duration {
+	d := n.jittered(n.BaseRTT(from, to)) / 2
+	p.Sleep(d)
+	return d
+}
+
+// RoundTrip suspends p for a full jittered RTT (a ping).
+func (n *Network) RoundTrip(p sim.Proc, from, to string) time.Duration {
+	d := n.jittered(n.BaseRTT(from, to))
+	p.Sleep(d)
+	return d
+}

@@ -1,0 +1,369 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// Node is one replica set member: a document store, an oplog, a CPU
+// resource with a fixed number of service slots, and its (possibly
+// lagging) knowledge of every member's lastAppliedOpTime.
+type Node struct {
+	ID   int
+	Zone string
+
+	rs  *ReplicaSet
+	cpu *sim.Resource
+	rng *rand.Rand
+
+	// ckptGate releases getMore requests stalled behind a checkpoint.
+	ckptGate sim.Gate
+	// applyGate broadcasts whenever lastApplied advances, releasing
+	// afterClusterTime reads waiting for causal consistency.
+	applyGate sim.Gate
+	// knownGate broadcasts whenever this node's knowledge of another
+	// member's progress advances, releasing write-concern waiters.
+	knownGate sim.Gate
+
+	// mu guards all fields below. Virtual-time execution is
+	// single-threaded so the mutex is free there; the real-time env
+	// needs it.
+	mu            sync.Mutex
+	store         *storage.Store
+	log           *oplog.Log
+	lastApplied   oplog.OpTime
+	known         []oplog.OpTime // per-member lastApplied as known here
+	fetchPos      []oplog.OpTime // primary: last oplog position fetched by each member
+	dirtyBytes    int64          // payload bytes written since the last checkpoint
+	checkpointing bool
+	down          bool
+
+	stats NodeStats
+}
+
+// NodeStats counts the operations a node has serviced.
+type NodeStats struct {
+	Reads          int64
+	Writes         int64
+	GetMores       int64
+	FetchedEntries int64 // oplog entries handed out via getMore
+	Applied        int64
+	Checkpoints    int64
+	Statuses       int64
+}
+
+func newNode(rs *ReplicaSet, id int, zone string) *Node {
+	n := &Node{
+		ID:        id,
+		Zone:      zone,
+		rs:        rs,
+		cpu:       sim.NewResource(rs.env, rs.cfg.CPUSlots),
+		rng:       rs.env.NewRand(fmt.Sprintf("node-%d", id)),
+		ckptGate:  rs.env.NewGate(),
+		applyGate: rs.env.NewGate(),
+		knownGate: rs.env.NewGate(),
+		store:     storage.NewStore(),
+		log:       oplog.NewLog(),
+		known:     make([]oplog.OpTime, rs.cfg.Nodes),
+		fetchPos:  make([]oplog.OpTime, rs.cfg.Nodes),
+	}
+	return n
+}
+
+// jitterCost applies +/- CostJitter uniform noise to a service time.
+func (n *Node) jitterCost(d time.Duration) time.Duration {
+	j := n.rs.cfg.CostJitter
+	if j <= 0 {
+		return d
+	}
+	f := 1 + j*(2*n.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// LastApplied returns the node's own lastAppliedOpTime.
+func (n *Node) LastApplied() oplog.OpTime {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastApplied
+}
+
+// setKnown records that member `id` had applied up to ts, as learned
+// from a heartbeat or progress report. Knowledge never moves backward.
+func (n *Node) setKnown(id int, ts oplog.OpTime) {
+	n.mu.Lock()
+	advanced := n.known[id].Before(ts)
+	if advanced {
+		n.known[id] = ts
+	}
+	n.mu.Unlock()
+	if advanced {
+		n.knownGate.Broadcast()
+	}
+}
+
+// Down reports whether the node is marked unavailable.
+func (n *Node) Down() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down
+}
+
+// Checkpointing reports whether a checkpoint is in progress.
+func (n *Node) Checkpointing() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.checkpointing
+}
+
+// OplogLast returns the OpTime of the node's newest oplog entry.
+func (n *Node) OplogLast() oplog.OpTime {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.log.Last()
+}
+
+// Stats returns a copy of the node's operation counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// QueueDepth returns the number of operations waiting for a CPU slot.
+func (n *Node) QueueDepth() int { return n.cpu.Waiting() }
+
+// appendLocal mints a timestamp, applies the mutation to the local
+// store, and appends the oplog entry. Caller holds n.mu.
+func (n *Node) appendLocal(now time.Duration, build func(ts oplog.OpTime) oplog.Entry) (oplog.Entry, error) {
+	ts := n.log.NextTS(now)
+	e := build(ts)
+	if err := e.Apply(n.store); err != nil {
+		return oplog.Entry{}, err
+	}
+	if err := n.log.Append(e); err != nil {
+		return oplog.Entry{}, err
+	}
+	n.lastApplied = ts
+	n.known[n.ID] = ts
+	if e.Kind != oplog.KindNoop {
+		n.dirtyBytes += entryBytes(e)
+	}
+	n.applyGate.Broadcast()
+	return e, nil
+}
+
+// ---- transactional views ----
+
+// ReadView provides read access to a store inside an ExecRead or
+// ExecWrite body. The in-process implementation meters work in read
+// units that translate to CPU service time; the wire client implements
+// the same interface with one network round trip per call.
+type ReadView interface {
+	// FindByID looks up one document by _id, returning a detached copy.
+	FindByID(collection, id string) (storage.Document, bool)
+	// FindByIDShared looks up one document without the defensive copy;
+	// the caller must treat the result as strictly read-only.
+	FindByIDShared(collection, id string) (storage.Document, bool)
+	// FindManyByID batch-fetches documents by _id.
+	FindManyByID(collection string, ids []string) []storage.Document
+	// FindManyByIDShared is FindManyByID without defensive copies; the
+	// results are the store's live documents and must not be modified.
+	FindManyByIDShared(collection string, ids []string) []storage.Document
+	// Find runs a filtered query (limit 0 = unlimited).
+	Find(collection string, f storage.Filter, limit int) []storage.Document
+	// FindShared is Find without defensive copies (read-only results).
+	FindShared(collection string, f storage.Filter, limit int) []storage.Document
+	// Count counts matching documents.
+	Count(collection string, f storage.Filter) int
+	// AddUnits charges extra read work units for computation on results.
+	AddUnits(u int)
+}
+
+// WriteTxn extends ReadView with buffered mutations that commit at the
+// end of the transaction's service time.
+type WriteTxn interface {
+	ReadView
+	// Insert adds a new document at commit time.
+	Insert(collection string, doc storage.Document) error
+	// Set merges fields into the identified document (upserting),
+	// logging post-image values so replication is idempotent.
+	Set(collection, id string, fields storage.Document) error
+	// Delete removes the identified document at commit, if present.
+	Delete(collection, id string) error
+}
+
+// localReadView is the in-process ReadView over a node's store.
+type localReadView struct {
+	node      *Node
+	readUnits int
+}
+
+// FindByID looks up one document (1 read unit).
+func (v *localReadView) FindByID(collection, id string) (storage.Document, bool) {
+	v.readUnits++
+	return v.node.store.C(collection).FindByID(id)
+}
+
+// FindByIDShared looks up one document without the defensive copy
+// (1 read unit). The returned document is the store's live value: the
+// caller must treat it as strictly read-only. Hot read paths (YCSB
+// point reads, S-workload probes) use this to stay off the allocator.
+func (v *localReadView) FindByIDShared(collection, id string) (storage.Document, bool) {
+	v.readUnits++
+	return v.node.store.C(collection).FindByIDShared(id)
+}
+
+// Find runs a filtered query; it costs 1 unit plus one per four
+// returned documents — an index-assisted batch scan amortizes per-
+// document overhead, unlike repeated point lookups.
+func (v *localReadView) Find(collection string, f storage.Filter, limit int) []storage.Document {
+	docs := v.node.store.C(collection).Find(f, limit)
+	v.readUnits += 1 + len(docs)/4
+	return docs
+}
+
+// FindManyByID batch-fetches documents by _id (a $in on the _id
+// index); it costs 1 unit plus one per eight ids — cheaper per
+// document than individual FindByID calls.
+func (v *localReadView) FindManyByID(collection string, ids []string) []storage.Document {
+	c := v.node.store.C(collection)
+	out := make([]storage.Document, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := c.FindByID(id); ok {
+			out = append(out, d)
+		}
+	}
+	v.readUnits += 1 + (len(ids)+7)/8
+	return out
+}
+
+// FindManyByIDShared batch-fetches without copying (same cost as
+// FindManyByID; the savings are allocation, not simulated service).
+func (v *localReadView) FindManyByIDShared(collection string, ids []string) []storage.Document {
+	c := v.node.store.C(collection)
+	out := make([]storage.Document, 0, len(ids))
+	for _, id := range ids {
+		if d, ok := c.FindByIDShared(id); ok {
+			out = append(out, d)
+		}
+	}
+	v.readUnits += 1 + (len(ids)+7)/8
+	return out
+}
+
+// FindShared runs a filtered query without copying the results.
+func (v *localReadView) FindShared(collection string, f storage.Filter, limit int) []storage.Document {
+	docs := v.node.store.C(collection).FindShared(f, limit)
+	v.readUnits += 1 + len(docs)/4
+	return docs
+}
+
+// Count counts matching documents (1 unit plus one per 4 matches).
+func (v *localReadView) Count(collection string, f storage.Filter) int {
+	c := v.node.store.C(collection).Count(f)
+	v.readUnits += 1 + c/4
+	return c
+}
+
+// AddUnits charges extra read units for computation done on results.
+func (v *localReadView) AddUnits(u int) { v.readUnits += u }
+
+// localWriteTxn is the in-process WriteTxn. Mutations are buffered
+// while the transaction body runs and committed — applied to the
+// primary's store and appended to the oplog — only after the
+// transaction's service time elapses, so a write becomes visible to
+// replication (and to other clients) when it commits, not when it is
+// issued. Reads inside the transaction see the pre-transaction state;
+// reading a document the same transaction wrote is not supported (the
+// workloads in this repository never do).
+type localWriteTxn struct {
+	localReadView
+	muts []mutation
+}
+
+type mutKind int
+
+const (
+	mutInsert mutKind = iota
+	mutSet
+	mutDelete
+)
+
+type mutation struct {
+	kind       mutKind
+	collection string
+	docID      string
+	doc        storage.Document // normalized
+}
+
+// Insert adds a new document at commit time. Duplicate-_id detection
+// happens against the pre-transaction state plus this transaction's
+// own buffered inserts.
+func (t *localWriteTxn) Insert(collection string, doc storage.Document) error {
+	norm, err := doc.Normalized()
+	if err != nil {
+		return err
+	}
+	id, ok := norm["_id"].(string)
+	if !ok || id == "" {
+		return fmt.Errorf("cluster: insert requires a string _id")
+	}
+	if _, exists := t.node.store.C(collection).FindByID(id); exists {
+		return fmt.Errorf("cluster: duplicate _id %q in %s", id, collection)
+	}
+	for _, m := range t.muts {
+		if m.kind == mutInsert && m.collection == collection && m.docID == id {
+			return fmt.Errorf("cluster: duplicate _id %q in %s (within transaction)", id, collection)
+		}
+	}
+	t.muts = append(t.muts, mutation{kind: mutInsert, collection: collection, docID: id, doc: norm})
+	return nil
+}
+
+// Set merges fields into the identified document (upserting at commit),
+// logging post-image values so replication is idempotent.
+func (t *localWriteTxn) Set(collection, id string, fields storage.Document) error {
+	norm, err := fields.Normalized()
+	if err != nil {
+		return err
+	}
+	t.muts = append(t.muts, mutation{kind: mutSet, collection: collection, docID: id, doc: norm})
+	return nil
+}
+
+// Delete removes the identified document at commit, if present.
+func (t *localWriteTxn) Delete(collection, id string) error {
+	t.muts = append(t.muts, mutation{kind: mutDelete, collection: collection, docID: id})
+	return nil
+}
+
+// writeOps returns the number of buffered mutations.
+func (t *localWriteTxn) writeOps() int { return len(t.muts) }
+
+// commit applies the buffered mutations and appends their oplog
+// entries. Caller holds the node's mutex.
+func (t *localWriteTxn) commit(now time.Duration) error {
+	for _, m := range t.muts {
+		m := m
+		_, err := t.node.appendLocal(now, func(ts oplog.OpTime) oplog.Entry {
+			switch m.kind {
+			case mutInsert:
+				return oplog.NewInsert(ts, m.collection, m.doc)
+			case mutSet:
+				return oplog.NewSet(ts, m.collection, m.docID, m.doc)
+			default:
+				return oplog.NewDelete(ts, m.collection, m.docID)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

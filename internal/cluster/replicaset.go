@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// ReplicaSet is the deployed cluster: one primary plus secondaries,
+// connected by the zone network model, with background replication,
+// heartbeat, checkpoint and noop-writer processes.
+type ReplicaSet struct {
+	env   sim.Env
+	cfg   Config
+	net   *Network
+	nodes []*Node
+
+	mu        sync.Mutex
+	primaryID int
+}
+
+// New builds and starts a replica set. Zero-valued Config fields take
+// defaults. Node 0 starts as primary.
+func New(env sim.Env, cfg Config) *ReplicaSet {
+	cfg = cfg.withDefaults()
+	rs := &ReplicaSet{env: env, cfg: cfg, net: newNetwork(env, cfg)}
+	for i := 0; i < cfg.Nodes; i++ {
+		zone := cfg.Zones[i%len(cfg.Zones)]
+		rs.nodes = append(rs.nodes, newNode(rs, i, zone))
+	}
+	rs.startBackground()
+	return rs
+}
+
+// Config returns the effective configuration.
+func (rs *ReplicaSet) Config() Config { return rs.cfg }
+
+// Env returns the execution environment.
+func (rs *ReplicaSet) Env() sim.Env { return rs.env }
+
+// Network returns the zone RTT model.
+func (rs *ReplicaSet) Network() *Network { return rs.net }
+
+// PrimaryID returns the current primary's node id.
+func (rs *ReplicaSet) PrimaryID() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.primaryID
+}
+
+// Primary returns the current primary node.
+func (rs *ReplicaSet) Primary() *Node { return rs.nodes[rs.PrimaryID()] }
+
+// Node returns the node with the given id.
+func (rs *ReplicaSet) Node(id int) *Node { return rs.nodes[id] }
+
+// NodeIDs returns all node ids.
+func (rs *ReplicaSet) NodeIDs() []int {
+	ids := make([]int, len(rs.nodes))
+	for i := range rs.nodes {
+		ids[i] = i
+	}
+	return ids
+}
+
+// SecondaryIDs returns the ids of all current secondaries.
+func (rs *ReplicaSet) SecondaryIDs() []int {
+	p := rs.PrimaryID()
+	var ids []int
+	for i := range rs.nodes {
+		if i != p {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// Zone returns a node's availability zone.
+func (rs *ReplicaSet) Zone(id int) string { return rs.nodes[id].Zone }
+
+// ClientZone returns the zone client systems run in.
+func (rs *ReplicaSet) ClientZone() string { return rs.cfg.ClientZone }
+
+// Bootstrap runs fn against every node's store directly, outside the
+// oplog — modeling data that was present before the run (a restored
+// snapshot / completed initial sync). Use it for loading datasets and
+// creating indexes.
+func (rs *ReplicaSet) Bootstrap(fn func(s *storage.Store) error) error {
+	for _, n := range rs.nodes {
+		n.mu.Lock()
+		err := fn(n.store)
+		n.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- client-facing operations ----
+
+// ErrNotPrimary is returned when a write reaches a non-primary node.
+var ErrNotPrimary = fmt.Errorf("cluster: node is not primary")
+
+// ErrNodeDown is returned when an operation reaches an unavailable node.
+var ErrNodeDown = fmt.Errorf("cluster: node is down")
+
+// SetDown marks a node (un)available. Operations against a down node
+// fail; the driver's server selection avoids it.
+func (rs *ReplicaSet) SetDown(id int, down bool) {
+	n := rs.nodes[id]
+	n.mu.Lock()
+	n.down = down
+	n.mu.Unlock()
+}
+
+// ExecRead runs a read-only body at the chosen node, modeling network
+// traversal, CPU queueing and service time proportional to the read
+// units the body consumes. It returns the body's result.
+func (rs *ReplicaSet) ExecRead(p sim.Proc, nodeID int, fn func(v ReadView) (any, error)) (any, error) {
+	n := rs.nodes[nodeID]
+	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
+	res, err := n.execRead(p, fn)
+	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
+	return res, err
+}
+
+func (n *Node) execRead(p sim.Proc, fn func(v ReadView) (any, error)) (any, error) {
+	if n.Down() {
+		return nil, ErrNodeDown
+	}
+	n.cpu.Acquire(p)
+	defer n.cpu.Release()
+	v := &localReadView{node: n}
+	n.mu.Lock()
+	res, err := fn(v)
+	n.stats.Reads++
+	n.mu.Unlock()
+	units := v.readUnits
+	if units < 1 {
+		units = 1
+	}
+	p.Sleep(n.jitterCost(time.Duration(units) * n.rs.cfg.ReadCost))
+	return res, err
+}
+
+// ExecWrite runs a read-write transaction body at the primary,
+// modeling flow-control throttling, CPU queueing, and service time for
+// both the read and write work. Mutations are applied and oplogged.
+func (rs *ReplicaSet) ExecWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, error) {
+	n := rs.Primary()
+	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
+	res, err := n.execWrite(p, fn)
+	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
+	return res, err
+}
+
+func (n *Node) execWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, error) {
+	if n.Down() {
+		return nil, ErrNodeDown
+	}
+	if n.rs.PrimaryID() != n.ID {
+		return nil, ErrNotPrimary
+	}
+	// Flow control: stall writers when known replication lag is high.
+	if lim := n.rs.cfg.FlowControlLagSecs; lim > 0 {
+		if n.knownMaxLagSecs() >= lim {
+			p.Sleep(n.rs.cfg.FlowControlDelay)
+		}
+	}
+	n.cpu.Acquire(p)
+	defer n.cpu.Release()
+	tx := &localWriteTxn{localReadView: localReadView{node: n}}
+	n.mu.Lock()
+	res, err := fn(tx)
+	n.stats.Writes++
+	n.mu.Unlock()
+	cost := time.Duration(tx.readUnits)*n.rs.cfg.ReadCost +
+		time.Duration(tx.writeOps())*n.rs.cfg.WriteCost
+	if cost < n.rs.cfg.WriteCost {
+		cost = n.rs.cfg.WriteCost
+	}
+	if n.Checkpointing() {
+		cost = time.Duration(float64(cost) * n.rs.cfg.CheckpointSlowdown)
+	}
+	p.Sleep(n.jitterCost(cost))
+	// Commit at the end of the service time: this is when the write
+	// becomes durable and visible to replication.
+	if err == nil {
+		n.mu.Lock()
+		err = tx.commit(p.Now())
+		n.mu.Unlock()
+	}
+	return res, err
+}
+
+// knownMaxLagSecs is the primary's view of its worst secondary's lag.
+func (n *Node) knownMaxLagSecs() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var worst int64
+	for id, ts := range n.known {
+		if id == n.ID {
+			continue
+		}
+		if lag := n.lastApplied.LagSeconds(ts); lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
+// Ping measures one round trip to the node without touching its CPU —
+// the Read Balancer's RTT probe.
+func (rs *ReplicaSet) Ping(p sim.Proc, nodeID int) time.Duration {
+	start := p.Now()
+	rs.net.RoundTrip(p, rs.cfg.ClientZone, rs.nodes[nodeID].Zone)
+	return p.Now() - start
+}
+
+// MemberStatus is one row of a serverStatus response.
+type MemberStatus struct {
+	ID      int
+	Primary bool
+	// Applied is the member's lastAppliedOpTime as known by the
+	// queried node — possibly stale knowledge, which is exactly the
+	// conservative error model of §2.3.
+	Applied oplog.OpTime
+}
+
+// Status is a serverStatus response from one node.
+type Status struct {
+	From    int
+	Primary int
+	Members []MemberStatus
+}
+
+// StalenessSecs returns the apparent staleness of member id: the
+// primary's applied optime minus the member's, in whole seconds.
+func (st Status) StalenessSecs(id int) int64 {
+	var primary, member oplog.OpTime
+	for _, m := range st.Members {
+		if m.ID == st.Primary {
+			primary = m.Applied
+		}
+		if m.ID == id {
+			member = m.Applied
+		}
+	}
+	return primary.LagSeconds(member)
+}
+
+// MaxSecondaryStalenessSecs returns the worst apparent staleness over
+// all secondaries.
+func (st Status) MaxSecondaryStalenessSecs() int64 {
+	var worst int64
+	for _, m := range st.Members {
+		if m.ID == st.Primary {
+			continue
+		}
+		if lag := st.StalenessSecs(m.ID); lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
+// ServerStatus issues the serverStatus command at the chosen node and
+// returns its view of every member's replication progress.
+func (rs *ReplicaSet) ServerStatus(p sim.Proc, nodeID int) Status {
+	n := rs.nodes[nodeID]
+	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
+	n.cpu.Acquire(p)
+	p.Sleep(n.jitterCost(rs.cfg.StatusCost))
+	st := n.statusSnapshot()
+	n.cpu.Release()
+	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
+	return st
+}
+
+func (n *Node) statusSnapshot() Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Statuses++
+	st := Status{From: n.ID, Primary: n.rs.primaryID}
+	for id := range n.known {
+		applied := n.known[id]
+		if id == n.ID {
+			applied = n.lastApplied
+		}
+		st.Members = append(st.Members, MemberStatus{
+			ID:      id,
+			Primary: id == n.rs.primaryID,
+			Applied: applied,
+		})
+	}
+	return st
+}
+
+// Failover promotes the most up-to-date secondary. The new primary
+// first catches up on any oplog entries it has not yet applied (as a
+// MongoDB election's catch-up phase does), so no acknowledged write is
+// lost. It returns the new primary's id.
+func (rs *ReplicaSet) Failover(p sim.Proc) int {
+	oldID := rs.PrimaryID()
+	old := rs.nodes[oldID]
+	// Pick the secondary with the highest lastApplied.
+	best := -1
+	var bestTS oplog.OpTime
+	for id, n := range rs.nodes {
+		if id == oldID {
+			continue
+		}
+		if ts := n.LastApplied(); best == -1 || bestTS.Before(ts) {
+			best, bestTS = id, ts
+		}
+	}
+	if best == -1 {
+		return oldID
+	}
+	winner := rs.nodes[best]
+	// Catch-up: copy and apply the entries the winner is missing.
+	old.mu.Lock()
+	missing := old.log.ScanAfter(bestTS, 0)
+	old.mu.Unlock()
+	winner.mu.Lock()
+	for _, e := range missing {
+		if err := e.Apply(winner.store); err == nil {
+			if err := winner.log.Append(e); err == nil {
+				winner.lastApplied = e.TS
+				winner.known[winner.ID] = e.TS
+			}
+		}
+	}
+	winner.mu.Unlock()
+	rs.mu.Lock()
+	rs.primaryID = best
+	rs.mu.Unlock()
+	return best
+}
+
+// ---- causal consistency (afterClusterTime) ----
+
+// ExecReadAfter is ExecRead with MongoDB's afterClusterTime semantics:
+// the read blocks at the chosen node until that node has applied at
+// least the `after` OpTime, then executes. It returns the node's
+// lastApplied at execution time alongside the result, so sessions can
+// thread their causal token forward.
+func (rs *ReplicaSet) ExecReadAfter(p sim.Proc, nodeID int, after oplog.OpTime, fn func(v ReadView) (any, error)) (any, oplog.OpTime, error) {
+	n := rs.nodes[nodeID]
+	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
+	res, ts, err := n.execReadAfter(p, after, fn)
+	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
+	return res, ts, err
+}
+
+func (n *Node) execReadAfter(p sim.Proc, after oplog.OpTime, fn func(v ReadView) (any, error)) (any, oplog.OpTime, error) {
+	if n.Down() {
+		return nil, oplog.Zero, ErrNodeDown
+	}
+	// Wait for causal prerequisite before consuming a CPU slot, as
+	// MongoDB queues the operation until the node catches up.
+	for n.LastApplied().Before(after) {
+		if n.Down() {
+			return nil, oplog.Zero, ErrNodeDown
+		}
+		n.applyGate.Wait(p)
+	}
+	res, err := n.execRead(p, fn)
+	return res, n.LastApplied(), err
+}
+
+// ExecWriteTracked is ExecWrite that also returns the OpTime of the
+// transaction's last committed operation (Zero for empty
+// transactions) — the session's new causal token.
+func (rs *ReplicaSet) ExecWriteTracked(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, oplog.OpTime, error) {
+	n := rs.Primary()
+	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
+	res, err := n.execWrite(p, fn)
+	var ts oplog.OpTime
+	if err == nil {
+		ts = n.LastApplied()
+	}
+	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
+	return res, ts, err
+}

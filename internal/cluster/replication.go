@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+)
+
+// startBackground launches the replica set's internal processes:
+// oplog pullers, heartbeat gossip, checkpoints, and the idle-noop
+// writer.
+func (rs *ReplicaSet) startBackground() {
+	for _, n := range rs.nodes {
+		n := n
+		rs.env.Spawn(fmt.Sprintf("repl/puller-%d", n.ID), n.pullerLoop)
+		rs.env.Spawn(fmt.Sprintf("repl/checkpoint-%d", n.ID), n.checkpointLoop)
+		for _, m := range rs.nodes {
+			if m == n {
+				continue
+			}
+			m := m
+			rs.env.Spawn(fmt.Sprintf("repl/heartbeat-%d-to-%d", n.ID, m.ID), func(p sim.Proc) {
+				n.heartbeatLoop(p, m)
+			})
+		}
+	}
+	rs.env.Spawn("repl/noop-writer", rs.noopLoop)
+}
+
+// pullerLoop is the secondary's replication fetcher: it issues getMore
+// requests against the primary's oplog and applies the returned batches
+// locally, then reports progress. When the primary is saturated or
+// checkpointing, the getMore stalls and local lastApplied freezes —
+// staleness rises gradually. Once a large batch finally arrives, the
+// (uncongested) secondary applies it quickly and catches up — staleness
+// collapses. This is the sawtooth of §4.5.
+func (n *Node) pullerLoop(p sim.Proc) {
+	rs := n.rs
+	for {
+		if rs.PrimaryID() == n.ID || n.Down() {
+			p.Sleep(rs.cfg.ReplIdlePoll)
+			continue
+		}
+		prim := rs.Primary()
+		n.mu.Lock()
+		after := n.log.Last()
+		n.mu.Unlock()
+		rs.net.Travel(p, n.Zone, prim.Zone)
+		batch := prim.serveGetMore(p, n.ID, after)
+		rs.net.Travel(p, prim.Zone, n.Zone)
+		if len(batch) == 0 {
+			p.Sleep(rs.cfg.ReplIdlePoll)
+			continue
+		}
+		// Apply the batch in chunks, paying the CPU queue once per
+		// chunk rather than once per entry — MongoDB secondaries apply
+		// oplog batches under a batch lock with parallel appliers, so
+		// replication does not serialize behind every queued read.
+		const chunkSize = 256
+		for start := 0; start < len(batch); start += chunkSize {
+			end := start + chunkSize
+			if end > len(batch) {
+				end = len(batch)
+			}
+			chunk := batch[start:end]
+			work := 0
+			for _, e := range chunk {
+				if e.Kind != oplog.KindNoop {
+					work++
+				}
+			}
+			if work > 0 {
+				cost := n.jitterCost(time.Duration(work) * rs.cfg.ApplyCost)
+				if n.Checkpointing() {
+					cost = time.Duration(float64(cost) * rs.cfg.CheckpointSlowdown)
+				}
+				n.cpu.Use(p, cost)
+			}
+			n.mu.Lock()
+			for _, e := range chunk {
+				if err := e.Apply(n.store); err != nil {
+					continue
+				}
+				if err := n.log.Append(e); err != nil {
+					continue
+				}
+				n.lastApplied = e.TS
+				n.known[n.ID] = e.TS
+				n.stats.Applied++
+				if e.Kind != oplog.KindNoop {
+					n.dirtyBytes += entryBytes(e)
+				}
+			}
+			n.maybeTruncateOplog() // caller-side cap (we hold no fetch state)
+			n.mu.Unlock()
+			n.applyGate.Broadcast() // release afterClusterTime waiters
+		}
+		// Report replication progress to the primary; it arrives one
+		// network traversal later, so the primary's knowledge lags —
+		// the conservative over-estimate of §2.3.
+		ts := n.LastApplied()
+		from, to := n, prim
+		rs.env.Spawn(fmt.Sprintf("repl/progress-%d", n.ID), func(q sim.Proc) {
+			rs.net.Travel(q, from.Zone, to.Zone)
+			to.setKnown(from.ID, ts)
+		})
+	}
+}
+
+// serveGetMore services one oplog fetch at the primary. It stalls
+// behind an in-progress checkpoint and then competes for a CPU slot
+// with client operations, so a congested primary delivers the oplog
+// late.
+func (n *Node) serveGetMore(p sim.Proc, from int, after oplog.OpTime) []oplog.Entry {
+	for n.Checkpointing() {
+		n.ckptGate.Wait(p)
+	}
+	n.cpu.Use(p, n.jitterCost(n.rs.cfg.GetMoreCost))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.GetMores++
+	batch := n.log.ScanAfter(after, n.rs.cfg.BatchMax)
+	n.stats.FetchedEntries += int64(len(batch))
+	pos := after
+	if len(batch) > 0 {
+		pos = batch[len(batch)-1].TS
+	}
+	if n.fetchPos[from].Before(pos) {
+		n.fetchPos[from] = pos
+	}
+	n.maybeTruncateOplog()
+	return batch
+}
+
+// maybeTruncateOplog caps oplog memory. On the primary it never cuts
+// off a fetcher (truncation stops at the slowest member's fetch
+// position); on a secondary it simply keeps the newest OplogCap
+// entries. Caller holds n.mu.
+func (n *Node) maybeTruncateOplog() {
+	cap := n.rs.cfg.OplogCap
+	// Hysteresis: truncation copies the retained suffix, so run it
+	// only after the log overshoots the cap by 25% and cut back to the
+	// cap — amortized O(1) per append instead of O(cap) per batch.
+	if cap <= 0 || n.log.Len() < cap+cap/4 {
+		return
+	}
+	if n.rs.PrimaryID() != n.ID {
+		n.log.TruncateToLast(cap)
+		return
+	}
+	// Never truncate past the slowest member's fetch position.
+	cutoff := n.lastApplied
+	for id, ts := range n.fetchPos {
+		if id == n.ID {
+			continue
+		}
+		if ts.Before(cutoff) {
+			cutoff = ts
+		}
+	}
+	n.log.TruncateBefore(cutoff)
+}
+
+// heartbeatLoop gossips n's lastApplied to m every HeartbeatInterval;
+// the value in flight ages by one network traversal.
+func (n *Node) heartbeatLoop(p sim.Proc, m *Node) {
+	rs := n.rs
+	for {
+		ts := n.LastApplied()
+		rs.net.Travel(p, n.Zone, m.Zone)
+		m.setKnown(n.ID, ts)
+		p.Sleep(rs.cfg.HeartbeatInterval)
+	}
+}
+
+// checkpointLoop models WiredTiger checkpoints: every interval, flush
+// the dirty data accumulated since the last checkpoint. The duration
+// grows with write volume; while flushing, the node's disk is
+// saturated (writes and applies slow down) and getMore servicing is
+// stalled — the mechanism the paper's §4.5 diagnosis describes.
+func (n *Node) checkpointLoop(p sim.Proc) {
+	rs := n.rs
+	for {
+		p.Sleep(rs.cfg.CheckpointInterval)
+		n.mu.Lock()
+		dirty := n.dirtyBytes
+		n.dirtyBytes = 0
+		n.mu.Unlock()
+		if dirty == 0 {
+			continue
+		}
+		mb := float64(dirty) / (1 << 20)
+		dur := rs.cfg.CheckpointMinDuration + time.Duration(mb*float64(rs.cfg.CheckpointPerMB))
+		if dur > rs.cfg.CheckpointMaxDuration {
+			dur = rs.cfg.CheckpointMaxDuration
+		}
+		n.mu.Lock()
+		n.checkpointing = true
+		n.stats.Checkpoints++
+		n.mu.Unlock()
+		p.Sleep(dur)
+		n.mu.Lock()
+		n.checkpointing = false
+		n.mu.Unlock()
+		n.ckptGate.Broadcast()
+	}
+}
+
+// entryBytes estimates an entry's dirty-page contribution. Inserts
+// dirty far more than in-place field merges: fresh documents allocate
+// new pages and touch every index (TPC-C's order/history inserts are
+// what made the paper's checkpoints take ~30 s, §4.5), so they weigh
+// 10x their payload; deletes touch a fixed amount of bookkeeping.
+func entryBytes(e oplog.Entry) int64 {
+	const overhead = 64
+	switch e.Kind {
+	case oplog.KindInsert:
+		return 10*int64(len(e.Payload)) + overhead
+	case oplog.KindDelete:
+		return 128
+	default:
+		return int64(len(e.Payload)) + overhead
+	}
+}
+
+// noopLoop writes a periodic no-op oplog entry at the primary so that
+// replication progress (and hence staleness) stays defined when the
+// workload is idle.
+func (rs *ReplicaSet) noopLoop(p sim.Proc) {
+	for {
+		p.Sleep(rs.cfg.NoopInterval)
+		prim := rs.Primary()
+		prim.mu.Lock()
+		_, _ = prim.appendLocal(p.Now(), func(ts oplog.OpTime) oplog.Entry {
+			return oplog.NewNoop(ts)
+		})
+		prim.mu.Unlock()
+	}
+}

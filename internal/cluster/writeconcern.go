@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"sort"
+
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+)
+
+// WriteConcern selects how many members must have applied a write
+// before it is acknowledged, like MongoDB's `w` option. The paper's
+// workloads use W1 (the fire-and-forget default of its era); WMajority
+// is provided for applications that need durability across failovers.
+type WriteConcern int
+
+const (
+	// W1 acknowledges after the primary's local commit.
+	W1 WriteConcern = iota
+	// WMajority acknowledges after a majority of members (including
+	// the primary) are known to have applied the commit OpTime.
+	WMajority
+)
+
+func (w WriteConcern) String() string {
+	if w == WMajority {
+		return "majority"
+	}
+	return "1"
+}
+
+// ExecWriteConcern runs a write transaction and blocks until the
+// requested write concern is satisfied, returning the commit OpTime.
+// With WMajority the caller waits for the primary to learn — via
+// progress reports and heartbeats — that a majority has applied the
+// commit point, exactly the knowledge `serverStatus` exposes.
+func (rs *ReplicaSet) ExecWriteConcern(p sim.Proc, wc WriteConcern, fn func(tx WriteTxn) (any, error)) (any, oplog.OpTime, error) {
+	res, commit, err := rs.ExecWriteTracked(p, fn)
+	if err != nil || wc == W1 || commit.IsZero() {
+		return res, commit, err
+	}
+	prim := rs.Primary()
+	need := rs.cfg.Nodes/2 + 1
+	for {
+		if prim.countKnownAtLeast(commit) >= need {
+			return res, commit, nil
+		}
+		// Wake on the next progress/heartbeat knowledge update.
+		prim.knownGate.Wait(p)
+	}
+}
+
+// countKnownAtLeast reports how many members this node knows to have
+// applied at least ts (itself included via its own lastApplied).
+func (n *Node) countKnownAtLeast(ts oplog.OpTime) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for id, known := range n.known {
+		applied := known
+		if id == n.ID {
+			applied = n.lastApplied
+		}
+		if !applied.Before(ts) {
+			count++
+		}
+	}
+	return count
+}
+
+// MajorityCommitPoint returns the highest OpTime this node knows a
+// majority of members to have applied — MongoDB's majority commit
+// point, the basis of read concern majority.
+func (n *Node) MajorityCommitPoint() oplog.OpTime {
+	n.mu.Lock()
+	times := make([]oplog.OpTime, len(n.known))
+	copy(times, n.known)
+	times[n.ID] = n.lastApplied
+	n.mu.Unlock()
+	// Sort descending; the (majority-1) index is the newest OpTime
+	// that at least a majority have reached.
+	sort.Slice(times, func(i, j int) bool { return times[j].Before(times[i]) })
+	need := len(times)/2 + 1
+	return times[need-1]
+}

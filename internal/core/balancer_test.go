@@ -1,0 +1,318 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/driver"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+func newTestBalancer(params Params) (*sim.VirtualEnv, *Balancer) {
+	env := sim.NewEnv(1)
+	cfg := cluster.DefaultConfig()
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	rs := cluster.New(env, cfg)
+	client := driver.NewClient(env, driver.WrapCluster(rs))
+	return env, NewBalancer(env, client, params)
+}
+
+// feed records n latency samples per preference with the given medians
+// and zero RTT, then ends the period.
+func feed(b *Balancer, primaryLat, secondaryLat time.Duration) {
+	for i := 0; i < 20; i++ {
+		b.Record(driver.Primary, primaryLat)
+		b.Record(driver.Secondary, secondaryLat)
+	}
+	b.endPeriod(0)
+}
+
+func TestInitialFractionIsLowBal(t *testing.T) {
+	env, b := newTestBalancer(DefaultParams())
+	defer env.Shutdown()
+	if f := b.FractionPct(); f != 10 {
+		t.Fatalf("initial fraction %v%%, want 10%%", f)
+	}
+	// A zero-value StaleBound means "no stale reads tolerated": 0%.
+	env2, b2 := newTestBalancer(Params{})
+	defer env2.Shutdown()
+	if f := b2.FractionPct(); f != 0 {
+		t.Fatalf("zero StaleBound fraction %v%%, want 0%%", f)
+	}
+}
+
+func TestStaleBoundZeroForcesPrimaryForever(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 0})
+	defer env.Shutdown()
+	// DefaultParams sets bound 10; explicit zero must be respected, so
+	// construct directly.
+	p := DefaultParams()
+	p.StaleBound = 0
+	b2 := NewBalancer(env, b.client, p)
+	if f := b2.FractionPct(); f != 0 {
+		t.Fatalf("fraction %v with StaleBound=0, want 0", f)
+	}
+	feed(b2, 100*time.Millisecond, time.Millisecond) // huge primary congestion
+	if f := b2.FractionPct(); f != 0 {
+		t.Fatalf("gate released despite StaleBound=0: %v", f)
+	}
+}
+
+func TestHighRatioIncreasesFraction(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	feed(b, 10*time.Millisecond, 2*time.Millisecond) // ratio 5 > 1.3
+	if f := b.FractionPct(); f != 20 {
+		t.Fatalf("fraction %v after congested-primary period, want 0.20", f)
+	}
+	st := b.Stats()
+	if st.Increases != 1 {
+		t.Fatalf("increases=%d", st.Increases)
+	}
+}
+
+func TestLowRatioDecreasesFractionWithFloor(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	feed(b, 2*time.Millisecond, 10*time.Millisecond) // ratio 0.2 < 0.75
+	if f := b.FractionPct(); f != 10 {
+		t.Fatalf("fraction %v, want floor 0.10", f)
+	}
+	if b.Stats().Decreases != 1 {
+		t.Fatalf("decreases=%d", b.Stats().Decreases)
+	}
+}
+
+func TestFractionCapsAtHighBal(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	for i := 0; i < 12; i++ {
+		feed(b, 10*time.Millisecond, 2*time.Millisecond)
+	}
+	if f := b.FractionPct(); f != 90 {
+		t.Fatalf("fraction %v, want cap 0.90", f)
+	}
+}
+
+func TestNeutralRatioHolds(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	feed(b, 10*time.Millisecond, 2*time.Millisecond) // -> 0.20
+	feed(b, 5*time.Millisecond, 5*time.Millisecond)  // ratio 1.0: hold
+	if f := b.FractionPct(); f != 20 {
+		t.Fatalf("fraction %v, want hold at 0.20", f)
+	}
+	if b.Stats().Holds == 0 {
+		t.Fatal("hold not counted")
+	}
+}
+
+func TestFourEqualPeriodsExploreDownward(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	// Push up to 0.30, then stay neutral until RecentBal is all 0.30.
+	for i := 0; i < 2; i++ {
+		feed(b, 10*time.Millisecond, 2*time.Millisecond)
+	}
+	if f := b.FractionPct(); f != 30 {
+		t.Fatalf("setup failed: %v", f)
+	}
+	// Three neutral periods fill RecentBal with 0.30 (len 4).
+	for i := 0; i < 3; i++ {
+		feed(b, 5*time.Millisecond, 5*time.Millisecond)
+	}
+	if f := b.FractionPct(); f != 30 {
+		t.Fatalf("fraction %v before exploration, want 0.30", f)
+	}
+	// Next neutral period: all recent equal -> probe down.
+	feed(b, 5*time.Millisecond, 5*time.Millisecond)
+	if f := b.FractionPct(); f != 20 {
+		t.Fatalf("fraction %v after exploration, want 0.20", f)
+	}
+	if b.Stats().Explorations != 1 {
+		t.Fatalf("explorations=%d", b.Stats().Explorations)
+	}
+}
+
+func TestNoExplorationAblation(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10, NoExploration: true})
+	defer env.Shutdown()
+	for i := 0; i < 10; i++ {
+		feed(b, 5*time.Millisecond, 5*time.Millisecond)
+	}
+	if f := b.FractionPct(); f != 10 {
+		t.Fatalf("fraction moved without cause: %v", f)
+	}
+	if b.Stats().Explorations != 0 {
+		t.Fatal("exploration ran despite ablation")
+	}
+}
+
+func TestEmptyPeriodHolds(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	feed(b, 10*time.Millisecond, 2*time.Millisecond) // -> 0.20
+	b.endPeriod(0)                                   // no samples at all
+	if f := b.FractionPct(); f != 20 {
+		t.Fatalf("fraction %v after empty period, want 0.20", f)
+	}
+	// Only-primary samples (fraction could be 0 from gating): hold too.
+	for i := 0; i < 5; i++ {
+		b.Record(driver.Primary, time.Millisecond)
+	}
+	b.endPeriod(0)
+	if f := b.FractionPct(); f != 20 {
+		t.Fatalf("fraction %v after primary-only period, want 0.20", f)
+	}
+}
+
+func TestStalenessGateTripsAndReleases(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	feed(b, 10*time.Millisecond, 2*time.Millisecond) // -> 0.20
+	b.mu.Lock()
+	b.maxStale = 11
+	b.applyGateLocked()
+	b.mu.Unlock()
+	if f := b.FractionPct(); f != 0 {
+		t.Fatalf("fraction %v with staleness 11 > bound 10, want 0", f)
+	}
+	if !b.Gated() {
+		t.Fatal("not gated")
+	}
+	if b.Stats().GateTrips != 1 {
+		t.Fatalf("gateTrips=%d", b.Stats().GateTrips)
+	}
+	// Staleness recovers: fraction resumes the latest decision.
+	b.mu.Lock()
+	b.maxStale = 2
+	b.applyGateLocked()
+	b.mu.Unlock()
+	if f := b.FractionPct(); f != 20 {
+		t.Fatalf("fraction %v after recovery, want 0.20", f)
+	}
+	if b.Stats().GateTrips != 1 {
+		t.Fatal("gate trip double counted")
+	}
+}
+
+func TestGatePersistsAcrossPeriodEnd(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	b.mu.Lock()
+	b.maxStale = 50
+	b.applyGateLocked()
+	b.mu.Unlock()
+	feed(b, 10*time.Millisecond, 2*time.Millisecond)
+	if f := b.FractionPct(); f != 0 {
+		t.Fatalf("period end un-gated the balancer: %v", f)
+	}
+	// The underlying decision still advanced (Algorithm 1 keeps
+	// updating RecentBal while gated).
+	d := b.Decisions()
+	if len(d) == 0 || d[len(d)-1].NewBalPct != 20 {
+		t.Fatalf("decisions=%v", d)
+	}
+}
+
+func TestRTTSubtractionSeparatesNetworkFromService(t *testing.T) {
+	// Same client-observed latencies, but the secondary sits behind a
+	// longer network path: without subtraction the ratio looks
+	// balanced; with it, the secondary's server is revealed as faster.
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	for i := 0; i < 20; i++ {
+		b.Record(driver.Primary, 4*time.Millisecond)
+		b.Record(driver.Secondary, 4*time.Millisecond)
+	}
+	b.mu.Lock()
+	b.rttPrimary = []time.Duration{200 * time.Microsecond}
+	b.rttSecondary = []time.Duration{3 * time.Millisecond}
+	b.mu.Unlock()
+	b.endPeriod(0)
+	// L_ss(primary)=3.8ms, L_ss(secondary)=1ms, ratio=3.8 > 1.3 -> up.
+	if f := b.FractionPct(); f != 20 {
+		t.Fatalf("fraction %v, want 0.20 (ratio should exceed HighRatio)", f)
+	}
+
+	env2, b2 := newTestBalancer(Params{StaleBound: 10, NoRTTSubtraction: true})
+	defer env2.Shutdown()
+	for i := 0; i < 20; i++ {
+		b2.Record(driver.Primary, 4*time.Millisecond)
+		b2.Record(driver.Secondary, 4*time.Millisecond)
+	}
+	b2.endPeriod(0)
+	if f := b2.FractionPct(); f != 10 {
+		t.Fatalf("ablated fraction %v, want hold at 0.10 (ratio 1.0)", f)
+	}
+}
+
+func TestUseMeanAblation(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10, UseMean: true})
+	defer env.Shutdown()
+	// Median primary latency is low, but a tail outlier drags the mean
+	// far up: mean-based control reacts, median-based would not.
+	for i := 0; i < 9; i++ {
+		b.Record(driver.Primary, 1*time.Millisecond)
+		b.Record(driver.Secondary, 1*time.Millisecond)
+	}
+	b.Record(driver.Primary, 200*time.Millisecond)
+	b.Record(driver.Secondary, 1*time.Millisecond)
+	b.endPeriod(0)
+	if f := b.FractionPct(); f != 20 {
+		t.Fatalf("mean-based fraction %v, want 0.20", f)
+	}
+}
+
+func TestDecisionsRecorded(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	feed(b, 10*time.Millisecond, 2*time.Millisecond)
+	feed(b, 2*time.Millisecond, 10*time.Millisecond)
+	d := b.Decisions()
+	if len(d) != 2 {
+		t.Fatalf("%d decisions", len(d))
+	}
+	if d[0].Ratio < 4 || d[1].Ratio > 0.5 {
+		t.Fatalf("ratios %v %v", d[0].Ratio, d[1].Ratio)
+	}
+	if b.Stats().Periods != 2 {
+		t.Fatalf("periods=%d", b.Stats().Periods)
+	}
+}
+
+func TestEndToEndBalancerShiftsUnderCongestion(t *testing.T) {
+	// Full loop: congested primary (closed-loop readers all hitting
+	// it at first through the router) must drive the fraction up.
+	env := sim.NewEnv(7)
+	defer env.Shutdown()
+	cfg := cluster.DefaultConfig()
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	rs := cluster.New(env, cfg)
+	rs.Bootstrap(func(s *storage.Store) error { return nil })
+	params := DefaultParams()
+	params.Period = 2 * time.Second
+	sys := NewSystem(env, driver.WrapCluster(rs), params)
+	for i := 0; i < 120; i++ {
+		env.Spawn("client", func(p sim.Proc) {
+			for {
+				sys.Router.Read(p, func(v cluster.ReadView) (any, error) {
+					v.FindByID("kv", "k")
+					return nil, nil
+				})
+			}
+		})
+	}
+	env.Run(60 * time.Second)
+	if f := sys.Balancer.Fraction(); f < 0.6 {
+		t.Fatalf("fraction %v after sustained primary congestion, want >= 0.6", f)
+	}
+	prim, sec := sys.Router.Counts(false)
+	if sec == 0 || prim == 0 {
+		t.Fatalf("counts %d/%d", prim, sec)
+	}
+}

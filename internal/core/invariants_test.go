@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"decongestant/internal/driver"
+)
+
+// TestQuickFractionInvariants drives the Read Balancer through random
+// sequences of latency observations, staleness reports and period
+// boundaries, and checks Algorithm 1's structural invariants after
+// every step:
+//
+//  1. the published fraction is 0 or within [LowBalPct, HighBalPct];
+//  2. the published fraction is 0 exactly when the gate is active;
+//  3. the underlying decision (RecentBal tail) is always within
+//     [LowBalPct, HighBalPct] — gating never corrupts it;
+//  4. consecutive decisions differ by at most DeltaPct.
+func TestQuickFractionInvariants(t *testing.T) {
+	type step struct {
+		PrimLatMs uint16 // 0 = no samples this period
+		SecLatMs  uint16
+		Staleness uint8
+		EndPeriod bool
+	}
+	f := func(steps []step) bool {
+		env, b := newTestBalancer(DefaultParams())
+		defer env.Shutdown()
+		prevDecision := b.params.LowBalPct
+		for _, st := range steps {
+			if st.PrimLatMs > 0 {
+				for i := 0; i < 5; i++ {
+					b.Record(driver.Primary, time.Duration(st.PrimLatMs)*time.Millisecond)
+				}
+			}
+			if st.SecLatMs > 0 {
+				for i := 0; i < 5; i++ {
+					b.Record(driver.Secondary, time.Duration(st.SecLatMs)*time.Millisecond)
+				}
+			}
+			b.mu.Lock()
+			b.maxStale = int64(st.Staleness % 30)
+			b.applyGateLocked()
+			b.mu.Unlock()
+			if st.EndPeriod {
+				b.endPeriod(0)
+			}
+			pct := b.FractionPct()
+			gated := b.Gated()
+			// (1) and (2)
+			if gated && pct != 0 {
+				return false
+			}
+			if !gated && (pct < b.params.LowBalPct || pct > b.params.HighBalPct) {
+				return false
+			}
+			// (3) and (4)
+			b.mu.Lock()
+			decision := b.recent[len(b.recent)-1]
+			b.mu.Unlock()
+			if decision < b.params.LowBalPct || decision > b.params.HighBalPct {
+				return false
+			}
+			if diff := decision - prevDecision; diff > b.params.DeltaPct || diff < -b.params.DeltaPct {
+				return false
+			}
+			prevDecision = decision
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGateIsExactlyBoundCheck: gating must equal
+// (StaleBound == 0 || staleness > StaleBound), Algorithm 1 lines 3/21.
+func TestQuickGateIsExactlyBoundCheck(t *testing.T) {
+	f := func(staleness uint8, boundSel uint8) bool {
+		params := DefaultParams()
+		params.StaleBound = int64(boundSel % 15) // includes 0
+		env, b := newTestBalancer(params)
+		defer env.Shutdown()
+		b.mu.Lock()
+		b.maxStale = int64(staleness % 30)
+		b.applyGateLocked()
+		gated := b.gated
+		b.mu.Unlock()
+		want := params.StaleBound == 0 || int64(staleness%30) > params.StaleBound
+		return gated == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterCoinMatchesFraction: over many flips, the share of
+// secondary choices tracks the published fraction.
+func TestRouterCoinMatchesFraction(t *testing.T) {
+	env, b := newTestBalancer(DefaultParams())
+	defer env.Shutdown()
+	r := NewRouter(env, b, b.client)
+	for _, target := range []int{10, 40, 90} {
+		b.mu.Lock()
+		b.recent[len(b.recent)-1] = target
+		b.applyGateLocked()
+		b.mu.Unlock()
+		sec := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if r.Choose() == driver.Secondary {
+				sec++
+			}
+		}
+		got := 100 * float64(sec) / n
+		if got < float64(target)-2 || got > float64(target)+2 {
+			t.Fatalf("fraction %d%%: coin gave %.1f%%", target, got)
+		}
+	}
+	// Gated: never secondary.
+	b.mu.Lock()
+	b.maxStale = 99
+	b.applyGateLocked()
+	b.mu.Unlock()
+	for i := 0; i < 1000; i++ {
+		if r.Choose() == driver.Secondary {
+			t.Fatal("gated router chose secondary")
+		}
+	}
+}

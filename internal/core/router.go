@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/driver"
+	"decongestant/internal/sim"
+)
+
+// Router is the piece of Decongestant living inside every client
+// process (§3.2): before each read it consults the Read Balancer's
+// latest Balance Fraction, flips a biased coin to pick primary or
+// secondary Read Preference, executes the read through the driver,
+// and reports the observed latency back to the Balancer's shared
+// lists.
+type Router struct {
+	balancer *Balancer
+	client   *driver.Client
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	nPrimary int64
+	nSecond  int64
+}
+
+// NewRouter creates a router bound to a balancer and driver client.
+func NewRouter(env sim.Env, balancer *Balancer, client *driver.Client) *Router {
+	return &Router{
+		balancer: balancer,
+		client:   client,
+		rng:      env.NewRand("core-router"),
+	}
+}
+
+// Choose flips the biased coin: secondary with probability equal to
+// the current Balance Fraction, primary otherwise.
+func (r *Router) Choose() driver.ReadPref {
+	f := r.balancer.Fraction()
+	r.mu.Lock()
+	coin := r.rng.Float64()
+	r.mu.Unlock()
+	if coin < f {
+		return driver.Secondary
+	}
+	return driver.Primary
+}
+
+// Read routes one read-only operation: coin flip, execute, record the
+// client-observed latency with the Balancer, and count the actual
+// destination (the experiments report measured percentages, not the
+// suggested fraction).
+func (r *Router) Read(p sim.Proc, fn func(v cluster.ReadView) (any, error)) (any, driver.ReadPref, time.Duration, error) {
+	pref := r.Choose()
+	res, _, lat, err := r.client.Read(p, driver.ReadOptions{Pref: pref}, fn)
+	if err != nil {
+		return nil, pref, lat, err
+	}
+	r.balancer.Record(pref, lat)
+	r.mu.Lock()
+	if pref == driver.Secondary {
+		r.nSecond++
+	} else {
+		r.nPrimary++
+	}
+	r.mu.Unlock()
+	return res, pref, lat, nil
+}
+
+// Write forwards a write transaction to the primary via the driver.
+func (r *Router) Write(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, time.Duration, error) {
+	return r.client.Write(p, fn)
+}
+
+// Counts returns how many routed reads actually went to the primary
+// and to secondaries, and resets the counters when reset is true.
+func (r *Router) Counts(reset bool) (primary, secondary int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	primary, secondary = r.nPrimary, r.nSecond
+	if reset {
+		r.nPrimary, r.nSecond = 0, 0
+	}
+	return primary, secondary
+}
+
+// System bundles everything a Decongestant-enabled client system needs:
+// the driver session, the Read Balancer and a Router.
+type System struct {
+	Client   *driver.Client
+	Balancer *Balancer
+	Router   *Router
+}
+
+// NewSystem wires a complete Decongestant deployment over a
+// connection and starts the Balancer's background processes.
+func NewSystem(env sim.Env, conn driver.Conn, params Params) *System {
+	client := driver.NewClient(env, conn)
+	balancer := NewBalancer(env, client, params)
+	router := NewRouter(env, balancer, client)
+	balancer.Start()
+	return &System{Client: client, Balancer: balancer, Router: router}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/driver"
+	"decongestant/internal/sim"
+)
+
+// The paper's conclusion names "richer client SLAs as well as maximum
+// staleness" as future work and discusses Pileus (§5) as the
+// SLA-driven point in the design space. SLARouter is that extension:
+// a declarative, Pileus-style SLA — an ordered list of subSLAs, each a
+// (consistency requirement, latency bound, utility) triple — evaluated
+// per read against the Read Balancer's live staleness estimate and
+// smoothed per-role latencies. The read is routed to satisfy the
+// highest-utility subSLA currently predicted to be achievable.
+
+// SubSLA is one acceptable way to serve a read.
+type SubSLA struct {
+	// Name labels the subSLA in hit statistics.
+	Name string
+	// MaxStalenessSecs is the consistency requirement: 0 demands
+	// up-to-date data (primary only); otherwise secondaries whose
+	// estimated staleness is within the bound are acceptable.
+	MaxStalenessSecs int64
+	// LatencyBound is the response-time target; the subSLA is chosen
+	// only when the predicted latency of its routing is within it.
+	LatencyBound time.Duration
+	// Utility scores the subSLA; higher is better. The list should be
+	// ordered by descending utility.
+	Utility float64
+}
+
+// SLA is an ordered list of subSLAs; the last entry acts as the
+// fallback and is used regardless of predictions when nothing better
+// qualifies.
+type SLA []SubSLA
+
+// Validate checks structural sanity: non-empty, descending utility.
+func (s SLA) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("core: SLA has no subSLAs")
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Utility > s[i-1].Utility {
+			return fmt.Errorf("core: SLA utilities must be non-increasing (%q > %q)",
+				s[i].Name, s[i-1].Name)
+		}
+	}
+	return nil
+}
+
+// SLAStats accumulates per-subSLA outcomes.
+type SLAStats struct {
+	// Hits counts reads that met both the chosen subSLA's consistency
+	// and latency requirements; Misses counts reads that were routed
+	// for a subSLA but exceeded its latency bound.
+	Hits   map[string]int64
+	Misses map[string]int64
+	// UtilitySum accumulates delivered utility (hits only).
+	UtilitySum float64
+}
+
+// SLARouter routes reads by SLA. It shares the Balancer's telemetry
+// (staleness estimate, per-role latency EWMAs) but makes its own
+// per-read choice instead of a biased coin flip.
+type SLARouter struct {
+	balancer *Balancer
+	client   *driver.Client
+	sla      SLA
+
+	mu    sync.Mutex
+	stats SLAStats
+}
+
+// NewSLARouter creates a router for the given SLA. The balancer's
+// background processes must be started for staleness and latency
+// telemetry to flow.
+func NewSLARouter(balancer *Balancer, client *driver.Client, sla SLA) (*SLARouter, error) {
+	if err := sla.Validate(); err != nil {
+		return nil, err
+	}
+	return &SLARouter{
+		balancer: balancer,
+		client:   client,
+		sla:      sla,
+		stats:    SLAStats{Hits: map[string]int64{}, Misses: map[string]int64{}},
+	}, nil
+}
+
+// choose picks the highest-utility subSLA whose requirements look
+// satisfiable right now, and the Read Preference that serves it.
+func (r *SLARouter) choose() (SubSLA, driver.ReadPref) {
+	stale := r.balancer.MaxStaleness()
+	latP := r.balancer.LatencyEstimate(driver.Primary)
+	latS := r.balancer.LatencyEstimate(driver.Secondary)
+	for i, sub := range r.sla {
+		fallback := i == len(r.sla)-1
+		if sub.MaxStalenessSecs == 0 {
+			// Consistency requires the primary.
+			if fallback || latP == 0 || latP <= sub.LatencyBound {
+				return sub, driver.Primary
+			}
+			continue
+		}
+		// Secondaries qualify only within the staleness requirement.
+		if stale > sub.MaxStalenessSecs {
+			if fallback {
+				return sub, driver.Primary
+			}
+			continue
+		}
+		if fallback || latS == 0 || latS <= sub.LatencyBound {
+			return sub, driver.Secondary
+		}
+	}
+	// Unreachable given Validate, but keep a safe default.
+	return r.sla[len(r.sla)-1], driver.Primary
+}
+
+// Read routes one read per the SLA, records the outcome against the
+// chosen subSLA, and reports the latency to the Balancer's shared
+// lists (the SLA router still feeds the feedback controller).
+func (r *SLARouter) Read(p sim.Proc, fn func(v cluster.ReadView) (any, error)) (any, SubSLA, time.Duration, error) {
+	sub, pref := r.choose()
+	res, _, lat, err := r.client.Read(p, driver.ReadOptions{Pref: pref}, fn)
+	if err != nil {
+		return nil, sub, lat, err
+	}
+	r.balancer.Record(pref, lat)
+	r.mu.Lock()
+	if lat <= sub.LatencyBound {
+		r.stats.Hits[sub.Name]++
+		r.stats.UtilitySum += sub.Utility
+	} else {
+		r.stats.Misses[sub.Name]++
+	}
+	r.mu.Unlock()
+	return res, sub, lat, nil
+}
+
+// Stats returns a copy of the hit/miss counters.
+func (r *SLARouter) Stats() SLAStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := SLAStats{
+		Hits:       make(map[string]int64, len(r.stats.Hits)),
+		Misses:     make(map[string]int64, len(r.stats.Misses)),
+		UtilitySum: r.stats.UtilitySum,
+	}
+	for k, v := range r.stats.Hits {
+		out.Hits[k] = v
+	}
+	for k, v := range r.stats.Misses {
+		out.Misses[k] = v
+	}
+	return out
+}
+
+// DefaultSLA mirrors Pileus's canonical example: prefer fast+fresh,
+// accept fast+slightly-stale, fall back to whatever the primary gives.
+func DefaultSLA() SLA {
+	return SLA{
+		{Name: "strong-fast", MaxStalenessSecs: 0, LatencyBound: 10 * time.Millisecond, Utility: 1.0},
+		{Name: "stale-fast", MaxStalenessSecs: 10, LatencyBound: 10 * time.Millisecond, Utility: 0.7},
+		{Name: "strong-slow", MaxStalenessSecs: 0, LatencyBound: time.Second, Utility: 0.2},
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/driver"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+func TestSLAValidate(t *testing.T) {
+	if err := (SLA{}).Validate(); err == nil {
+		t.Fatal("empty SLA accepted")
+	}
+	bad := SLA{
+		{Name: "a", Utility: 0.5},
+		{Name: "b", Utility: 0.9},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("increasing utility accepted")
+	}
+	if err := DefaultSLA().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLAChooseStrongWhenPrimaryFast(t *testing.T) {
+	env, b := newTestBalancer(DefaultParams())
+	defer env.Shutdown()
+	r, err := NewSLARouter(b, b.client, DefaultSLA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primary latency well within the 10ms bound.
+	b.Record(driver.Primary, 2*time.Millisecond)
+	b.Record(driver.Secondary, 2*time.Millisecond)
+	sub, pref := r.choose()
+	if sub.Name != "strong-fast" || pref != driver.Primary {
+		t.Fatalf("chose %q via %v, want strong-fast via primary", sub.Name, pref)
+	}
+}
+
+func TestSLAChooseStaleFastWhenPrimaryCongested(t *testing.T) {
+	env, b := newTestBalancer(DefaultParams())
+	defer env.Shutdown()
+	r, _ := NewSLARouter(b, b.client, DefaultSLA())
+	// Primary slow (congested), secondary fast, staleness fine.
+	for i := 0; i < 20; i++ {
+		b.Record(driver.Primary, 50*time.Millisecond)
+		b.Record(driver.Secondary, 3*time.Millisecond)
+	}
+	sub, pref := r.choose()
+	if sub.Name != "stale-fast" || pref != driver.Secondary {
+		t.Fatalf("chose %q via %v, want stale-fast via secondary", sub.Name, pref)
+	}
+}
+
+func TestSLAStalenessDisqualifiesSecondaries(t *testing.T) {
+	env, b := newTestBalancer(DefaultParams())
+	defer env.Shutdown()
+	r, _ := NewSLARouter(b, b.client, DefaultSLA())
+	for i := 0; i < 20; i++ {
+		b.Record(driver.Primary, 50*time.Millisecond) // too slow for strong-fast
+		b.Record(driver.Secondary, 3*time.Millisecond)
+	}
+	b.mu.Lock()
+	b.maxStale = 30 // beyond stale-fast's 10s requirement
+	b.mu.Unlock()
+	sub, pref := r.choose()
+	if sub.Name != "strong-slow" || pref != driver.Primary {
+		t.Fatalf("chose %q via %v, want strong-slow fallback via primary", sub.Name, pref)
+	}
+}
+
+func TestSLAFallbackAlwaysAvailable(t *testing.T) {
+	env, b := newTestBalancer(DefaultParams())
+	defer env.Shutdown()
+	// Single-entry SLA: everything routes to it regardless of state.
+	r, _ := NewSLARouter(b, b.client, SLA{
+		{Name: "only", MaxStalenessSecs: 5, LatencyBound: time.Nanosecond, Utility: 1},
+	})
+	sub, pref := r.choose()
+	if sub.Name != "only" || pref != driver.Secondary {
+		t.Fatalf("fallback chose %q via %v", sub.Name, pref)
+	}
+	b.mu.Lock()
+	b.maxStale = 99
+	b.mu.Unlock()
+	if _, pref := r.choose(); pref != driver.Primary {
+		t.Fatal("stale fallback should route to primary")
+	}
+}
+
+func TestSLAEndToEndUtility(t *testing.T) {
+	env := sim.NewEnv(55)
+	defer env.Shutdown()
+	cfg := cluster.DefaultConfig()
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	rs := cluster.New(env, cfg)
+	rs.Bootstrap(func(s *storage.Store) error {
+		return s.C("kv").Insert(storage.D{"_id": "k", "v": 1})
+	})
+	sys := NewSystem(env, driver.WrapCluster(rs), DefaultParams())
+	r, err := NewSLARouter(sys.Balancer, sys.Client, DefaultSLA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Congest the primary with background load.
+	for i := 0; i < 120; i++ {
+		env.Spawn("bg", func(p sim.Proc) {
+			for {
+				sys.Client.Read(p, driver.ReadOptions{Pref: driver.Primary}, func(v cluster.ReadView) (any, error) {
+					v.FindByIDShared("kv", "k")
+					return nil, nil
+				})
+			}
+		})
+	}
+	env.Spawn("sla-client", func(p sim.Proc) {
+		for i := 0; i < 400; i++ {
+			if _, _, _, err := r.Read(p, func(v cluster.ReadView) (any, error) {
+				v.FindByIDShared("kv", "k")
+				return nil, nil
+			}); err != nil {
+				t.Errorf("sla read: %v", err)
+				return
+			}
+			p.Sleep(50 * time.Millisecond)
+		}
+	})
+	env.Run(40 * time.Second)
+	st := r.Stats()
+	total := int64(0)
+	for _, v := range st.Hits {
+		total += v
+	}
+	for _, v := range st.Misses {
+		total += v
+	}
+	if total < 300 {
+		t.Fatalf("only %d SLA reads recorded", total)
+	}
+	// Under a congested primary, the stale-fast subSLA should carry
+	// most of the traffic (secondaries are fast and fresh).
+	if st.Hits["stale-fast"] == 0 {
+		t.Fatalf("stale-fast never hit: %+v", st)
+	}
+	if st.UtilitySum <= 0 {
+		t.Fatal("no utility delivered")
+	}
+}

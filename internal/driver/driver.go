@@ -1,0 +1,288 @@
+// Package driver implements a MongoDB-like client: Read Preference
+// options (primary, primaryPreferred, secondary, secondaryPreferred,
+// nearest), server selection with the 15 ms latency window over
+// EWMA-smoothed RTTs, the maxStalenessSeconds option with MongoDB's
+// 90-second floor, and a background topology monitor.
+//
+// Decongestant sits above this driver: it flips a biased coin per read
+// and passes Pref Primary or Secondary accordingly, exactly as the
+// paper's clients do.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/sim"
+)
+
+// ReadPref selects where read operations are routed.
+type ReadPref int
+
+const (
+	// Primary routes reads to the primary (the MongoDB default).
+	Primary ReadPref = iota
+	// PrimaryPreferred prefers the primary, falling back to a
+	// secondary when the primary is unavailable.
+	PrimaryPreferred
+	// Secondary routes reads to a randomly chosen secondary within
+	// the latency window.
+	Secondary
+	// SecondaryPreferred prefers secondaries, falling back to the
+	// primary when none is available.
+	SecondaryPreferred
+	// Nearest routes to the lowest-latency member regardless of role.
+	Nearest
+)
+
+func (r ReadPref) String() string {
+	switch r {
+	case Primary:
+		return "primary"
+	case PrimaryPreferred:
+		return "primaryPreferred"
+	case Secondary:
+		return "secondary"
+	case SecondaryPreferred:
+		return "secondaryPreferred"
+	case Nearest:
+		return "nearest"
+	}
+	return fmt.Sprintf("ReadPref(%d)", int(r))
+}
+
+// LatencyWindow is the server-selection latency window: eligible
+// members whose smoothed RTT is within this much of the fastest
+// eligible member may be chosen (MongoDB uses 15 ms).
+const LatencyWindow = 15 * time.Millisecond
+
+// SmallestMaxStalenessSeconds is MongoDB's floor for the
+// maxStalenessSeconds read option. The paper's point is that
+// Decongestant bounds staleness far below this floor.
+const SmallestMaxStalenessSeconds = 90
+
+// ErrNoEligibleServer is returned when server selection finds no
+// member satisfying the read preference.
+var ErrNoEligibleServer = errors.New("driver: no server satisfies the read preference")
+
+// ErrMaxStalenessTooSmall is returned for 0 < maxStalenessSeconds < 90.
+var ErrMaxStalenessTooSmall = fmt.Errorf("driver: maxStalenessSeconds must be >= %d", SmallestMaxStalenessSeconds)
+
+// ReadOptions carries per-read routing options.
+type ReadOptions struct {
+	Pref ReadPref
+	// MaxStalenessSeconds filters out secondaries whose estimated
+	// staleness exceeds the value. 0 means no bound. Values below
+	// SmallestMaxStalenessSeconds are rejected, as in MongoDB.
+	MaxStalenessSeconds int64
+}
+
+// Conn abstracts the deployed replica set from the client's side —
+// implemented by *cluster.ReplicaSet in-process and by the wire
+// client over TCP.
+type Conn interface {
+	NodeIDs() []int
+	PrimaryID() int
+	Zone(id int) string
+	ExecRead(p sim.Proc, nodeID int, fn func(v cluster.ReadView) (any, error)) (any, error)
+	ExecWrite(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, error)
+	Ping(p sim.Proc, nodeID int) time.Duration
+	ServerStatus(p sim.Proc, nodeID int) cluster.Status
+}
+
+// Statically assert the in-process replica set satisfies Conn.
+var _ Conn = (*clusterConn)(nil)
+
+type clusterConn struct{ *cluster.ReplicaSet }
+
+// WrapCluster adapts an in-process replica set to the Conn interface.
+func WrapCluster(rs *cluster.ReplicaSet) Conn { return clusterConn{rs} }
+
+// Client is a replica-set-aware session shared by any number of
+// workload processes. It is safe for concurrent use under the
+// real-time environment.
+type Client struct {
+	conn Conn
+	rng  *rand.Rand
+
+	mu       sync.Mutex
+	rtt      map[int]time.Duration // EWMA per node
+	lastStat *cluster.Status       // latest topology staleness view
+}
+
+// NewClient creates a client over the given connection, seeding RTT
+// estimates with one synthetic sample per zone model.
+func NewClient(env sim.Env, conn Conn) *Client {
+	return &Client{
+		conn: conn,
+		rng:  env.NewRand("driver-client"),
+		rtt:  make(map[int]time.Duration),
+	}
+}
+
+// Conn returns the underlying connection.
+func (c *Client) Conn() Conn { return c.conn }
+
+// StartMonitor launches the topology monitor: it pings every member
+// and refreshes the primary's serverStatus on the given interval,
+// feeding server selection (MongoDB's client monitors do the same
+// roughly every 10 seconds).
+func (c *Client) StartMonitor(env sim.Env, interval time.Duration) {
+	env.Spawn("driver/monitor", func(p sim.Proc) {
+		for {
+			c.RefreshRTTs(p)
+			st := c.conn.ServerStatus(p, c.conn.PrimaryID())
+			c.mu.Lock()
+			c.lastStat = &st
+			c.mu.Unlock()
+			p.Sleep(interval)
+		}
+	})
+}
+
+// RefreshRTTs pings every node once and folds the samples into the
+// EWMA estimates (MongoDB's alpha is 0.2).
+func (c *Client) RefreshRTTs(p sim.Proc) {
+	for _, id := range c.conn.NodeIDs() {
+		sample := c.conn.Ping(p, id)
+		c.mu.Lock()
+		if prev, ok := c.rtt[id]; ok {
+			c.rtt[id] = time.Duration(0.8*float64(prev) + 0.2*float64(sample))
+		} else {
+			c.rtt[id] = sample
+		}
+		c.mu.Unlock()
+	}
+}
+
+// RTT returns the smoothed round-trip estimate for a node (0 if not
+// yet measured).
+func (c *Client) RTT(id int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rtt[id]
+}
+
+// SelectServer picks the node a read with the given options should go
+// to, applying role filtering, the maxStaleness filter, and the 15 ms
+// latency window.
+func (c *Client) SelectServer(opts ReadOptions) (int, error) {
+	if opts.MaxStalenessSeconds != 0 && opts.MaxStalenessSeconds < SmallestMaxStalenessSeconds {
+		return 0, ErrMaxStalenessTooSmall
+	}
+	primary := c.conn.PrimaryID()
+	var secondaries []int
+	for _, id := range c.conn.NodeIDs() {
+		if id != primary {
+			secondaries = append(secondaries, id)
+		}
+	}
+	if opts.MaxStalenessSeconds > 0 {
+		secondaries = c.filterByStaleness(secondaries, opts.MaxStalenessSeconds)
+	}
+	switch opts.Pref {
+	case Primary:
+		return primary, nil
+	case PrimaryPreferred:
+		return primary, nil // the primary is tracked via PrimaryID
+	case Secondary:
+		if len(secondaries) == 0 {
+			return 0, ErrNoEligibleServer
+		}
+		return c.pickWithinWindow(secondaries), nil
+	case SecondaryPreferred:
+		if len(secondaries) > 0 {
+			return c.pickWithinWindow(secondaries), nil
+		}
+		return primary, nil
+	case Nearest:
+		return c.pickWithinWindow(append(secondaries, primary)), nil
+	default:
+		return 0, fmt.Errorf("driver: unknown read preference %v", opts.Pref)
+	}
+}
+
+func (c *Client) filterByStaleness(ids []int, bound int64) []int {
+	c.mu.Lock()
+	st := c.lastStat
+	c.mu.Unlock()
+	if st == nil {
+		return ids
+	}
+	var out []int
+	for _, id := range ids {
+		if st.StalenessSecs(id) <= bound {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// pickWithinWindow chooses randomly among candidates whose EWMA RTT is
+// within LatencyWindow of the fastest candidate.
+func (c *Client) pickWithinWindow(candidates []int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := time.Duration(-1)
+	for _, id := range candidates {
+		r, ok := c.rtt[id]
+		if !ok {
+			continue
+		}
+		if best < 0 || r < best {
+			best = r
+		}
+	}
+	var eligible []int
+	if best >= 0 {
+		for _, id := range candidates {
+			if r, ok := c.rtt[id]; ok && r <= best+LatencyWindow {
+				eligible = append(eligible, id)
+			}
+		}
+	}
+	if len(eligible) == 0 {
+		eligible = candidates
+	}
+	return eligible[c.rng.Intn(len(eligible))]
+}
+
+// Read selects a server per opts and runs the read body there,
+// retrying once on the fallback role for the *Preferred preferences.
+// It returns the body result, the chosen node, and the end-to-end
+// latency observed by the client.
+func (c *Client) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, error) {
+	nodeID, err := c.SelectServer(opts)
+	if err != nil {
+		return nil, -1, 0, err
+	}
+	start := p.Now()
+	res, err := c.conn.ExecRead(p, nodeID, fn)
+	if errors.Is(err, cluster.ErrNodeDown) {
+		switch opts.Pref {
+		case PrimaryPreferred:
+			fallback := opts
+			fallback.Pref = Secondary
+			if id2, err2 := c.SelectServer(fallback); err2 == nil {
+				res, err = c.conn.ExecRead(p, id2, fn)
+				nodeID = id2
+			}
+		case SecondaryPreferred:
+			nodeID = c.conn.PrimaryID()
+			res, err = c.conn.ExecRead(p, nodeID, fn)
+		}
+	}
+	return res, nodeID, p.Now() - start, err
+}
+
+// Write runs a write transaction at the primary and returns the
+// result and end-to-end latency.
+func (c *Client) Write(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, time.Duration, error) {
+	start := p.Now()
+	res, err := c.conn.ExecWrite(p, fn)
+	return res, p.Now() - start, err
+}

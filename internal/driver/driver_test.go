@@ -1,0 +1,227 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+func testSetup(seed int64) (*sim.VirtualEnv, *cluster.ReplicaSet, *Client) {
+	env := sim.NewEnv(seed)
+	cfg := cluster.DefaultConfig()
+	cfg.ReplIdlePoll = 5 * time.Millisecond
+	cfg.HeartbeatInterval = 100 * time.Millisecond
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	rs := cluster.New(env, cfg)
+	c := NewClient(env, WrapCluster(rs))
+	return env, rs, c
+}
+
+func TestReadPrefStrings(t *testing.T) {
+	want := map[ReadPref]string{
+		Primary: "primary", PrimaryPreferred: "primaryPreferred",
+		Secondary: "secondary", SecondaryPreferred: "secondaryPreferred",
+		Nearest: "nearest",
+	}
+	for pref, s := range want {
+		if pref.String() != s {
+			t.Errorf("%d.String()=%q want %q", pref, pref.String(), s)
+		}
+	}
+}
+
+func TestSelectServerPrimary(t *testing.T) {
+	env, rs, c := testSetup(1)
+	defer env.Shutdown()
+	id, err := c.SelectServer(ReadOptions{Pref: Primary})
+	if err != nil || id != rs.PrimaryID() {
+		t.Fatalf("got %d err %v", id, err)
+	}
+}
+
+func TestSelectServerSecondaryNeverPrimary(t *testing.T) {
+	env, rs, c := testSetup(2)
+	defer env.Shutdown()
+	env.Spawn("warm", func(p sim.Proc) { c.RefreshRTTs(p) })
+	env.Run(time.Second)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		id, err := c.SelectServer(ReadOptions{Pref: Secondary})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == rs.PrimaryID() {
+			t.Fatal("secondary preference chose the primary")
+		}
+		seen[id] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("random secondary selection only ever picked %v", seen)
+	}
+}
+
+func TestMaxStalenessFloor(t *testing.T) {
+	env, _, c := testSetup(3)
+	defer env.Shutdown()
+	if _, err := c.SelectServer(ReadOptions{Pref: Secondary, MaxStalenessSeconds: 10}); err != ErrMaxStalenessTooSmall {
+		t.Fatalf("err=%v, want ErrMaxStalenessTooSmall", err)
+	}
+	if _, err := c.SelectServer(ReadOptions{Pref: Secondary, MaxStalenessSeconds: 90}); err != nil {
+		t.Fatalf("90s rejected: %v", err)
+	}
+}
+
+func TestNearestPrefersClientZoneNode(t *testing.T) {
+	env, rs, c := testSetup(4)
+	defer env.Shutdown()
+	env.Spawn("warm", func(p sim.Proc) {
+		for i := 0; i < 20; i++ { // converge the EWMA
+			c.RefreshRTTs(p)
+		}
+	})
+	env.Run(time.Minute)
+	// Node 0 shares the client zone; with sub-ms RTT spread all nodes
+	// fall in the 15ms window, so nearest picks among all. Shrink the
+	// window effect by checking RTT ordering instead.
+	if c.RTT(0) >= c.RTT(1) || c.RTT(0) >= c.RTT(2) {
+		t.Fatalf("same-zone RTT not smallest: %v %v %v", c.RTT(0), c.RTT(1), c.RTT(2))
+	}
+	if _, err := c.SelectServer(ReadOptions{Pref: Nearest}); err != nil {
+		t.Fatal(err)
+	}
+	_ = rs
+}
+
+func TestReadRoutesAndMeasuresLatency(t *testing.T) {
+	env, rs, c := testSetup(5)
+	defer env.Shutdown()
+	rs.Bootstrap(func(s *storage.Store) error {
+		return s.C("kv").Insert(storage.D{"_id": "k", "v": int64(7)})
+	})
+	var lat time.Duration
+	var node int
+	var val int64
+	env.Spawn("client", func(p sim.Proc) {
+		c.RefreshRTTs(p)
+		res, n, l, err := c.Read(p, ReadOptions{Pref: Secondary}, func(v cluster.ReadView) (any, error) {
+			d, _ := v.FindByID("kv", "k")
+			return d.Int("v"), nil
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		val, node, lat = res.(int64), n, l
+	})
+	env.Run(time.Second)
+	if val != 7 {
+		t.Fatalf("val=%d", val)
+	}
+	if node == rs.PrimaryID() {
+		t.Fatal("read went to primary")
+	}
+	if lat <= 0 || lat > 50*time.Millisecond {
+		t.Fatalf("implausible latency %v", lat)
+	}
+}
+
+func TestWriteGoesToPrimary(t *testing.T) {
+	env, rs, c := testSetup(6)
+	defer env.Shutdown()
+	env.Spawn("client", func(p sim.Proc) {
+		if _, _, err := c.Write(p, func(tx cluster.WriteTxn) (any, error) {
+			return nil, tx.Insert("kv", storage.D{"_id": "w", "v": 1})
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(time.Second)
+	if rs.Primary().Stats().Writes == 0 {
+		t.Fatal("primary processed no writes")
+	}
+}
+
+func TestSecondaryPreferredFallsBackWhenSecondariesDown(t *testing.T) {
+	env, rs, c := testSetup(7)
+	defer env.Shutdown()
+	rs.Bootstrap(func(s *storage.Store) error {
+		return s.C("kv").Insert(storage.D{"_id": "k", "v": 1})
+	})
+	for _, id := range rs.SecondaryIDs() {
+		rs.SetDown(id, true)
+	}
+	var node int
+	var err error
+	env.Spawn("client", func(p sim.Proc) {
+		c.RefreshRTTs(p)
+		_, node, _, err = c.Read(p, ReadOptions{Pref: SecondaryPreferred}, func(v cluster.ReadView) (any, error) {
+			return nil, nil
+		})
+	})
+	env.Run(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != rs.PrimaryID() {
+		t.Fatalf("fallback routed to %d, not the primary", node)
+	}
+}
+
+func TestPrimaryPreferredFallsBackWhenPrimaryDown(t *testing.T) {
+	env, rs, c := testSetup(8)
+	defer env.Shutdown()
+	rs.SetDown(rs.PrimaryID(), true)
+	var node int
+	var err error
+	env.Spawn("client", func(p sim.Proc) {
+		c.RefreshRTTs(p)
+		_, node, _, err = c.Read(p, ReadOptions{Pref: PrimaryPreferred}, func(v cluster.ReadView) (any, error) {
+			return nil, nil
+		})
+	})
+	env.Run(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node == rs.PrimaryID() {
+		t.Fatal("read still went to the down primary")
+	}
+}
+
+func TestMonitorRefreshesTopology(t *testing.T) {
+	env, _, c := testSetup(9)
+	defer env.Shutdown()
+	c.StartMonitor(env, time.Second)
+	env.Run(3 * time.Second)
+	if c.RTT(0) == 0 || c.RTT(1) == 0 || c.RTT(2) == 0 {
+		t.Fatal("monitor did not measure RTTs")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastStat == nil {
+		t.Fatal("monitor did not fetch serverStatus")
+	}
+}
+
+func TestLatencyWindowExcludesSlowNode(t *testing.T) {
+	env, _, c := testSetup(10)
+	defer env.Shutdown()
+	// Fake RTTs: node1 fast, node2 far outside the window.
+	c.mu.Lock()
+	c.rtt[1] = 1 * time.Millisecond
+	c.rtt[2] = 40 * time.Millisecond
+	c.mu.Unlock()
+	for i := 0; i < 50; i++ {
+		id, err := c.SelectServer(ReadOptions{Pref: Secondary})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == 2 {
+			t.Fatal("selection chose a node outside the latency window")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package driver
+
+import (
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+)
+
+// CausalConn is the optional connection capability backing causally
+// consistent sessions: reads that wait for a prerequisite OpTime and
+// writes that report their commit OpTime. The in-process replica set
+// implements it; connections without it degrade sessions to plain
+// reads (documented on Session).
+type CausalConn interface {
+	Conn
+	ExecReadAfter(p sim.Proc, nodeID int, after oplog.OpTime, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error)
+	ExecWriteTracked(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, oplog.OpTime, error)
+}
+
+// Statically assert the in-process replica set provides causality.
+var _ CausalConn = (*causalClusterConn)(nil)
+
+type causalClusterConn struct{ clusterConn }
+
+// WrapClusterCausal adapts an in-process replica set to CausalConn.
+func WrapClusterCausal(rs *cluster.ReplicaSet) CausalConn {
+	return causalClusterConn{clusterConn{rs}}
+}
+
+// Session provides MongoDB-style causally consistent session
+// guarantees on top of a Client: every read observes at least the
+// effects of the session's previous writes (read-your-writes) and of
+// previously read states (monotonic reads), even when routed to a
+// secondary — the read simply waits until that secondary has applied
+// the session's operationTime, exactly as afterClusterTime does.
+//
+// The paper's Decongestant treats reads individually and points to
+// this MongoDB capability for applications that need session
+// guarantees (§1); Session is that capability layered over the same
+// router-compatible connection.
+type Session struct {
+	client *Client
+	causal CausalConn // nil when the connection lacks the capability
+
+	opTime oplog.OpTime
+}
+
+// NewSession starts a session. If the client's connection implements
+// CausalConn the session enforces causal consistency; otherwise reads
+// behave like plain Client reads.
+func (c *Client) NewSession() *Session {
+	s := &Session{client: c}
+	if cc, ok := c.conn.(CausalConn); ok {
+		s.causal = cc
+	}
+	return s
+}
+
+// Causal reports whether the session actually enforces causal
+// consistency.
+func (s *Session) Causal() bool { return s.causal != nil }
+
+// OperationTime returns the session's causal token.
+func (s *Session) OperationTime() oplog.OpTime { return s.opTime }
+
+// advance moves the token forward.
+func (s *Session) advance(ts oplog.OpTime) {
+	if s.opTime.Before(ts) {
+		s.opTime = ts
+	}
+}
+
+// Read routes a read with the given options; under a causal connection
+// it waits at the target node for the session's operationTime before
+// executing, and advances the token to the node's applied time.
+func (s *Session) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, error) {
+	if s.causal == nil {
+		return s.client.Read(p, opts, fn)
+	}
+	nodeID, err := s.client.SelectServer(opts)
+	if err != nil {
+		return nil, -1, 0, err
+	}
+	start := p.Now()
+	res, ts, err := s.causal.ExecReadAfter(p, nodeID, s.opTime, fn)
+	if err == nil {
+		s.advance(ts)
+	}
+	return res, nodeID, p.Now() - start, err
+}
+
+// Write runs a write transaction and advances the session token to its
+// commit time, so subsequent session reads (anywhere) observe it.
+func (s *Session) Write(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, time.Duration, error) {
+	if s.causal == nil {
+		return s.client.Write(p, fn)
+	}
+	start := p.Now()
+	res, ts, err := s.causal.ExecWriteTracked(p, fn)
+	if err == nil {
+		s.advance(ts)
+	}
+	return res, p.Now() - start, err
+}

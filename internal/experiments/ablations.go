@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"time"
+
+	"decongestant/internal/core"
+	"decongestant/internal/workload/ycsb"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out, all on
+// the same scenario: YCSB-B, 180 clients, 300 s, steady state after
+// 100 s of warm-up. Each variant flips exactly one switch of the Read
+// Balancer.
+
+// AblationVariant names one controller configuration.
+type AblationVariant struct {
+	Name   string
+	Params core.Params
+}
+
+// AblationVariants returns the paper configuration plus one variant
+// per design choice.
+func AblationVariants() []AblationVariant {
+	base := core.DefaultParams()
+
+	noRTT := base
+	noRTT.NoRTTSubtraction = true
+
+	noExplore := base
+	noExplore.NoExploration = true
+
+	mean := base
+	mean.UseMean = true
+
+	secSource := base
+	secSource.StalenessFromSecondary = true
+
+	tightRatio := base
+	tightRatio.HighRatio = 1.05
+	tightRatio.LowRatio = 0.95
+
+	bigDelta := base
+	bigDelta.DeltaPct = 30
+
+	return []AblationVariant{
+		{Name: "paper", Params: base},
+		{Name: "no-rtt-subtraction", Params: noRTT},
+		{Name: "no-exploration", Params: noExplore},
+		{Name: "mean-not-median", Params: mean},
+		{Name: "staleness-from-secondary", Params: secSource},
+		{Name: "tight-ratio-band", Params: tightRatio},
+		{Name: "delta-30pct", Params: bigDelta},
+	}
+}
+
+// AblationResult is one variant's steady-state outcome.
+type AblationResult struct {
+	Name         string
+	Throughput   float64
+	P80          time.Duration
+	PctSecondary float64
+	GateTrips    int
+	Explorations int
+}
+
+// RunAblation measures one controller variant on YCSB-B @ 180 clients.
+func RunAblation(seed int64, v AblationVariant, stretch float64) AblationResult {
+	f := nz(stretch)
+	warm := time.Duration(f * float64(100*time.Second))
+	runFor := time.Duration(f * float64(300*time.Second))
+	params := v.Params
+	if sp := scaledParams(stretch); sp.Period != params.Period {
+		params.Period = sp.Period
+	}
+	opts := Options{Seed: seed, Cluster: ExpClusterConfig(), Params: params}
+	setup := NewSetup(SysDecongestant, opts)
+	spec := ycsb.WorkloadB()
+	spec.RecordCount = YCSBRecordCount
+	if err := ycsb.Load(setup.RS, spec, seed); err != nil {
+		panic(err)
+	}
+	col := NewCollector(10*time.Second, "")
+	pool := ycsb.NewPool(setup.Env, setup.Exec, col, spec)
+	pool.SetClients(180)
+	setup.Env.Run(runFor)
+	thr, p80, pct := col.Aggregate(warm)
+	st := setup.Core.Balancer.Stats()
+	setup.Close()
+	return AblationResult{
+		Name:         v.Name,
+		Throughput:   thr,
+		P80:          p80,
+		PctSecondary: pct,
+		GateTrips:    st.GateTrips,
+		Explorations: st.Explorations,
+	}
+}
+
+// RunAllAblations measures every variant.
+func RunAllAblations(seed int64, stretch float64) []AblationResult {
+	var out []AblationResult
+	for _, v := range AblationVariants() {
+		out = append(out, RunAblation(seed, v, stretch))
+	}
+	return out
+}

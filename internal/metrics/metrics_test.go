@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Percentile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all zero")
+	}
+	h.Record(10 * time.Millisecond)
+	h.Record(20 * time.Millisecond)
+	h.Record(30 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count=%d", h.Count())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m != 20*time.Millisecond {
+		t.Fatalf("Mean=%v", m)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5 * time.Millisecond)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("negative not clamped to 0")
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var exact []time.Duration
+	for i := 0; i < 100000; i++ {
+		v := time.Duration(rng.Intn(100_000_000)) // up to 100ms
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.8, 0.99} {
+		want := exact[int(q*float64(len(exact)))-1]
+		got := h.Percentile(q)
+		relErr := float64(got-want) / float64(want)
+		if relErr < -0.001 || relErr > 0.04 {
+			t.Errorf("P%.0f: got %v want %v (rel err %.3f)", q*100, got, want, relErr)
+		}
+	}
+}
+
+func TestHistogramPercentileNeverBelowRecordedShare(t *testing.T) {
+	// Property: Percentile(q) >= the exact q-quantile (bucket upper
+	// bounds round up).
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		vals := make([]time.Duration, len(raw))
+		for i, r := range raw {
+			vals[i] = time.Duration(r)
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.8, 1.0} {
+			exact := PercentileOf(vals, q)
+			if h.Percentile(q) < exact {
+				return false
+			}
+		}
+		return h.Percentile(1.0) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 50; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 51; i <= 100; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Fatalf("Count=%d", a.Count())
+	}
+	if a.Max() != 100*time.Millisecond || a.Min() != time.Millisecond {
+		t.Fatalf("min/max %v/%v", a.Min(), a.Max())
+	}
+	p50 := a.Percentile(0.5)
+	if p50 < 49*time.Millisecond || p50 > 53*time.Millisecond {
+		t.Fatalf("P50=%v", p50)
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Percentile(0.5) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestPercentileOfExact(t *testing.T) {
+	s := []time.Duration{5, 1, 4, 2, 3}
+	if got := PercentileOf(s, 0.5); got != 3 {
+		t.Fatalf("P50=%v", got)
+	}
+	if got := PercentileOf(s, 0.8); got != 4 {
+		t.Fatalf("P80=%v", got)
+	}
+	if got := PercentileOf(s, 1.0); got != 5 {
+		t.Fatalf("P100=%v", got)
+	}
+	if got := PercentileOf(s, 0); got != 1 {
+		t.Fatalf("P0=%v", got)
+	}
+	if got := PercentileOf(nil, 0.5); got != 0 {
+		t.Fatalf("empty=%v", got)
+	}
+	// Input must not be mutated.
+	if s[0] != 5 {
+		t.Fatal("PercentileOf sorted the caller's slice")
+	}
+}
+
+func TestSeriesBucketsAndSnapshot(t *testing.T) {
+	s := NewSeries(10 * time.Second)
+	s.Observe(1*time.Second, 5*time.Millisecond)
+	s.Observe(9*time.Second, 15*time.Millisecond)
+	s.Observe(25*time.Second, 30*time.Millisecond)
+	snap := s.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("%d buckets", len(snap))
+	}
+	if snap[0].Count != 2 || snap[1].Count != 0 || snap[2].Count != 1 {
+		t.Fatalf("counts %v %v %v", snap[0].Count, snap[1].Count, snap[2].Count)
+	}
+	if snap[0].Throughput != 0.2 {
+		t.Fatalf("throughput %v", snap[0].Throughput)
+	}
+	if snap[2].Start != 20*time.Second {
+		t.Fatalf("start %v", snap[2].Start)
+	}
+}
+
+func TestSeriesAggregateExcludesWarmup(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 20; i++ {
+		s.Observe(time.Duration(i)*time.Second, time.Duration(i+1)*time.Millisecond)
+	}
+	agg := s.Aggregate(10 * time.Second)
+	if agg.Count() != 10 {
+		t.Fatalf("Count=%d", agg.Count())
+	}
+	if agg.Min() < 11*time.Millisecond {
+		t.Fatalf("warm-up observation leaked in: min=%v", agg.Min())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(3)
+	c.Inc(4)
+	if c.Total() != 7 {
+		t.Fatalf("Total=%d", c.Total())
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(1500 * time.Microsecond); got != "1.50ms" {
+		t.Fatalf("got %q", got)
+	}
+}

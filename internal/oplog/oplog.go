@@ -1,0 +1,257 @@
+// Package oplog implements the operation log that drives primary-copy
+// replication: OpTimes with MongoDB-style (seconds, increment)
+// structure, idempotent log entries, and an append-only log with
+// scan-from-timestamp reads used by secondary pullers.
+package oplog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"decongestant/internal/storage"
+)
+
+// OpTime identifies a position in the oplog: wall-clock seconds plus a
+// within-second increment, like MongoDB's Timestamp. The one-second
+// granularity of the Secs component is what gives serverStatus-based
+// staleness estimates their one-second resolution (§4.5 of the paper).
+type OpTime struct {
+	Secs int64
+	Inc  uint32
+}
+
+// Zero is the OpTime before any operation.
+var Zero = OpTime{}
+
+// IsZero reports whether t is the zero OpTime.
+func (t OpTime) IsZero() bool { return t == Zero }
+
+// Compare orders OpTimes: -1, 0, or 1.
+func (t OpTime) Compare(o OpTime) int {
+	switch {
+	case t.Secs != o.Secs:
+		if t.Secs < o.Secs {
+			return -1
+		}
+		return 1
+	case t.Inc != o.Inc:
+		if t.Inc < o.Inc {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Before reports whether t precedes o.
+func (t OpTime) Before(o OpTime) bool { return t.Compare(o) < 0 }
+
+// LagSeconds returns the whole-second distance from t back to earlier;
+// this is exactly what a serverStatus staleness computation sees.
+func (t OpTime) LagSeconds(earlier OpTime) int64 {
+	d := t.Secs - earlier.Secs
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+func (t OpTime) String() string { return fmt.Sprintf("%d.%d", t.Secs, t.Inc) }
+
+// FromDuration builds the OpTime for an event at virtual time d with
+// the given within-second increment.
+func FromDuration(d time.Duration, inc uint32) OpTime {
+	return OpTime{Secs: int64(d / time.Second), Inc: inc}
+}
+
+// Kind is the type of a logged operation.
+type Kind int
+
+const (
+	// KindInsert carries the full document.
+	KindInsert Kind = iota
+	// KindSet carries the fields to merge (post-image values), which
+	// makes re-application idempotent.
+	KindSet
+	// KindDelete removes the document.
+	KindDelete
+	// KindNoop advances the log without touching data (heartbeat
+	// writes, used to keep staleness measurable on idle systems).
+	KindNoop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInsert:
+		return "insert"
+	case KindSet:
+		return "set"
+	case KindDelete:
+		return "delete"
+	case KindNoop:
+		return "noop"
+	}
+	return "unknown"
+}
+
+// Entry is one replicated operation. The payload is a BSON-lite
+// encoded document so replication ships bytes, never shared pointers.
+type Entry struct {
+	TS         OpTime
+	Kind       Kind
+	Collection string
+	DocID      string
+	Payload    []byte
+}
+
+// NewInsert builds an insert entry for doc. The document is normalized
+// (convenience numeric widths become int64/float64) before encoding.
+func NewInsert(ts OpTime, collection string, doc storage.Document) Entry {
+	norm, err := doc.Normalized()
+	if err != nil {
+		panic(err) // unencodable value: programming error at the write site
+	}
+	return Entry{TS: ts, Kind: KindInsert, Collection: collection,
+		DocID: norm.ID(), Payload: storage.EncodeDoc(norm)}
+}
+
+// NewSet builds a field-merge entry with post-image field values,
+// normalized before encoding.
+func NewSet(ts OpTime, collection, docID string, fields storage.Document) Entry {
+	norm, err := fields.Normalized()
+	if err != nil {
+		panic(err)
+	}
+	return Entry{TS: ts, Kind: KindSet, Collection: collection,
+		DocID: docID, Payload: storage.EncodeDoc(norm)}
+}
+
+// NewDelete builds a delete entry.
+func NewDelete(ts OpTime, collection, docID string) Entry {
+	return Entry{TS: ts, Kind: KindDelete, Collection: collection, DocID: docID}
+}
+
+// NewNoop builds a no-op entry.
+func NewNoop(ts OpTime) Entry { return Entry{TS: ts, Kind: KindNoop} }
+
+// Apply executes the entry against a store, idempotently: applying an
+// entry twice leaves the same state as applying it once.
+func (e Entry) Apply(s *storage.Store) error {
+	switch e.Kind {
+	case KindInsert:
+		doc, err := storage.DecodeDoc(e.Payload)
+		if err != nil {
+			return fmt.Errorf("oplog: decode insert %s: %w", e.TS, err)
+		}
+		return s.C(e.Collection).Upsert(doc)
+	case KindSet:
+		fields, err := storage.DecodeDoc(e.Payload)
+		if err != nil {
+			return fmt.Errorf("oplog: decode set %s: %w", e.TS, err)
+		}
+		_, err = s.C(e.Collection).ApplySet(e.DocID, fields)
+		return err
+	case KindDelete:
+		s.C(e.Collection).Delete(e.DocID)
+		return nil
+	case KindNoop:
+		return nil
+	default:
+		return fmt.Errorf("oplog: unknown entry kind %d", e.Kind)
+	}
+}
+
+// Log is an append-only sequence of entries ordered by OpTime.
+type Log struct {
+	entries []Entry
+	lastTS  OpTime
+	nextInc uint32
+	lastSec int64
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log { return &Log{} }
+
+// NextTS mints the OpTime for an operation occurring at virtual time
+// now, monotonically increasing.
+func (l *Log) NextTS(now time.Duration) OpTime {
+	secs := int64(now / time.Second)
+	if secs < l.lastSec {
+		secs = l.lastSec
+	}
+	if secs != l.lastSec {
+		l.lastSec = secs
+		l.nextInc = 0
+	}
+	l.nextInc++
+	ts := OpTime{Secs: secs, Inc: l.nextInc}
+	if !l.lastTS.Before(ts) {
+		ts = OpTime{Secs: l.lastTS.Secs, Inc: l.lastTS.Inc + 1}
+		l.lastSec = ts.Secs
+		l.nextInc = ts.Inc
+	}
+	return ts
+}
+
+// Append adds an entry; its TS must exceed the last appended TS.
+func (l *Log) Append(e Entry) error {
+	if !l.lastTS.Before(e.TS) {
+		return fmt.Errorf("oplog: append out of order: %s after %s", e.TS, l.lastTS)
+	}
+	l.entries = append(l.entries, e)
+	l.lastTS = e.TS
+	return nil
+}
+
+// Last returns the OpTime of the newest entry (Zero if empty).
+func (l *Log) Last() OpTime { return l.lastTS }
+
+// Len returns the number of entries retained.
+func (l *Log) Len() int { return len(l.entries) }
+
+// ScanAfter returns up to max entries with TS strictly after `after`.
+func (l *Log) ScanAfter(after OpTime, max int) []Entry {
+	i := sort.Search(len(l.entries), func(i int) bool {
+		return after.Before(l.entries[i].TS)
+	})
+	if i >= len(l.entries) {
+		return nil
+	}
+	end := len(l.entries)
+	if max > 0 && i+max < end {
+		end = i + max
+	}
+	out := make([]Entry, end-i)
+	copy(out, l.entries[i:end])
+	return out
+}
+
+// TruncateBefore discards entries with TS before the cutoff, bounding
+// memory like MongoDB's capped oplog collection. It returns how many
+// entries were dropped.
+func (l *Log) TruncateBefore(cutoff OpTime) int {
+	i := sort.Search(len(l.entries), func(i int) bool {
+		return !l.entries[i].TS.Before(cutoff)
+	})
+	if i == 0 {
+		return 0
+	}
+	dropped := i
+	l.entries = append([]Entry(nil), l.entries[i:]...)
+	return dropped
+}
+
+// TruncateToLast keeps only the newest n entries, returning how many
+// were dropped — the secondary-side oplog cap (secondaries have no
+// fetchers to protect, but must bound memory like any capped
+// collection).
+func (l *Log) TruncateToLast(n int) int {
+	if n < 0 || len(l.entries) <= n {
+		return 0
+	}
+	dropped := len(l.entries) - n
+	l.entries = append([]Entry(nil), l.entries[dropped:]...)
+	return dropped
+}

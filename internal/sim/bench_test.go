@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw scheduler throughput: one
+// process sleeping in a tight loop (2 handshakes per event).
+func BenchmarkEventThroughput(b *testing.B) {
+	env := NewEnv(1)
+	defer env.Shutdown()
+	count := 0
+	env.Spawn("ticker", func(p Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+			count++
+		}
+	})
+	b.ResetTimer()
+	env.Run(time.Duration(b.N) * time.Microsecond)
+	if count < b.N-1 {
+		b.Fatalf("ran %d events, want ~%d", count, b.N)
+	}
+}
+
+// BenchmarkSemaphoreContention measures queueing through a contended
+// resource: 64 processes sharing 4 slots.
+func BenchmarkSemaphoreContention(b *testing.B) {
+	env := NewEnv(1)
+	defer env.Shutdown()
+	res := NewResource(env, 4)
+	done := 0
+	for i := 0; i < 64; i++ {
+		env.Spawn("w", func(p Proc) {
+			for {
+				res.Use(p, time.Microsecond)
+				done++
+			}
+		})
+	}
+	b.ResetTimer()
+	env.Run(time.Duration(b.N/4+1) * time.Microsecond)
+	if done == 0 {
+		b.Fatal("no work completed")
+	}
+}
+
+// BenchmarkSpawn measures process creation + teardown.
+func BenchmarkSpawn(b *testing.B) {
+	env := NewEnv(1)
+	defer env.Shutdown()
+	for i := 0; i < b.N; i++ {
+		env.Spawn("p", func(p Proc) {})
+	}
+	b.ResetTimer()
+	env.Run(time.Hour)
+}

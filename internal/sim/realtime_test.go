@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealtimeSleepAndNow(t *testing.T) {
+	env := NewRealtimeEnv(1)
+	defer env.Shutdown()
+	var elapsed atomic.Int64
+	done := make(chan struct{})
+	env.Spawn("p", func(p Proc) {
+		start := p.Now()
+		p.Sleep(20 * time.Millisecond)
+		elapsed.Store(int64(p.Now() - start))
+		close(done)
+	})
+	<-done
+	if e := time.Duration(elapsed.Load()); e < 15*time.Millisecond {
+		t.Fatalf("slept only %v", e)
+	}
+}
+
+func TestRealtimeSemaphoreLimitsConcurrency(t *testing.T) {
+	env := NewRealtimeEnv(1)
+	defer env.Shutdown()
+	sem := env.NewSemaphore(2)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		env.Spawn("w", func(p Proc) {
+			defer wg.Done()
+			sem.Acquire(p)
+			n := cur.Add(1)
+			for {
+				pk := peak.Load()
+				if n <= pk || peak.CompareAndSwap(pk, n) {
+					break
+				}
+			}
+			p.Sleep(5 * time.Millisecond)
+			cur.Add(-1)
+			sem.Release()
+		})
+	}
+	wg.Wait()
+	if pk := peak.Load(); pk > 2 {
+		t.Fatalf("peak concurrency %d exceeds capacity 2", pk)
+	}
+}
+
+func TestRealtimeMailbox(t *testing.T) {
+	env := NewRealtimeEnv(1)
+	defer env.Shutdown()
+	mb := env.NewMailbox()
+	got := make(chan int, 3)
+	env.Spawn("recv", func(p Proc) {
+		for i := 0; i < 3; i++ {
+			got <- mb.Recv(p).(int)
+		}
+	})
+	for i := 0; i < 3; i++ {
+		mb.Send(i)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case v := <-got:
+			if v != i {
+				t.Fatalf("got %d, want %d", v, i)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("timed out waiting for mailbox message")
+		}
+	}
+}
+
+func TestRealtimeGateBroadcast(t *testing.T) {
+	env := NewRealtimeEnv(1)
+	defer env.Shutdown()
+	gate := env.NewGate()
+	var woke atomic.Int64
+	var ready sync.WaitGroup
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		ready.Add(1)
+		wg.Add(1)
+		env.Spawn("w", func(p Proc) {
+			defer wg.Done()
+			ready.Done()
+			gate.Wait(p)
+			woke.Add(1)
+		})
+	}
+	ready.Wait()
+	time.Sleep(10 * time.Millisecond) // let them reach Wait
+	gate.Broadcast()
+	wg.Wait()
+	if woke.Load() != 4 {
+		t.Fatalf("woke=%d, want 4", woke.Load())
+	}
+}
+
+func TestRealtimeShutdownUnblocksEverything(t *testing.T) {
+	env := NewRealtimeEnv(1)
+	sem := env.NewSemaphore(1)
+	mb := env.NewMailbox()
+	gate := env.NewGate()
+	env.Spawn("holder", func(p Proc) {
+		sem.Acquire(p)
+		p.Sleep(time.Hour)
+	})
+	env.Spawn("semWaiter", func(p Proc) { sem.Acquire(p) })
+	env.Spawn("mbWaiter", func(p Proc) { mb.Recv(p) })
+	env.Spawn("gateWaiter", func(p Proc) { gate.Wait(p) })
+	time.Sleep(20 * time.Millisecond)
+	finished := make(chan struct{})
+	go func() {
+		env.Shutdown()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung")
+	}
+}
+
+func TestRealtimeNewRandConcurrentSafe(t *testing.T) {
+	env := NewRealtimeEnv(1)
+	defer env.Shutdown()
+	rng := env.NewRand("shared")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				rng.Int63()
+			}
+		}()
+	}
+	wg.Wait()
+}

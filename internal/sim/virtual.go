@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// VirtualEnv is a deterministic discrete-event environment. Processes
+// are goroutines, but exactly one runs at any moment: the scheduler
+// resumes the process owning the earliest event and waits for it to
+// block again before advancing time. With a fixed seed, runs are fully
+// reproducible.
+type VirtualEnv struct {
+	seed   int64
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	yield  chan struct{} // processes signal the scheduler here when they park
+	closed bool
+	procs  map[*vproc]struct{} // live processes
+}
+
+// NewEnv creates a virtual-time environment whose randomness derives
+// from seed.
+func NewEnv(seed int64) *VirtualEnv {
+	return &VirtualEnv{
+		seed:  seed,
+		yield: make(chan struct{}),
+		procs: make(map[*vproc]struct{}),
+	}
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	p   *vproc // process to resume, or nil for fn
+	fn  func() // scheduler callback (must not block)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type vproc struct {
+	env    *VirtualEnv
+	name   string
+	resume chan struct{}
+	parked bool
+	done   bool
+}
+
+func (p *vproc) Env() Env     { return p.env }
+func (p *vproc) Name() string { return p.name }
+func (p *vproc) Now() time.Duration {
+	return p.env.now
+}
+
+// park hands control back to the scheduler and waits to be resumed.
+func (p *vproc) park() {
+	p.parked = true
+	p.env.yield <- struct{}{}
+	<-p.resume
+	p.parked = false
+	if p.env.closed {
+		panic(stoppedError{})
+	}
+}
+
+func (p *vproc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p.env.now+d, p, nil)
+	p.park()
+}
+
+// Now returns the current virtual time.
+func (e *VirtualEnv) Now() time.Duration { return e.now }
+
+func (e *VirtualEnv) schedule(at time.Duration, p *vproc, fn func()) {
+	if e.closed {
+		return
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, p: p, fn: fn})
+}
+
+// After schedules fn to run in the scheduler context at now+d. fn must
+// not block; use Spawn for blocking work.
+func (e *VirtualEnv) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, nil, fn)
+}
+
+// Spawn starts a new process at the current virtual time.
+func (e *VirtualEnv) Spawn(name string, fn func(Proc)) {
+	if e.closed {
+		return
+	}
+	p := &vproc{env: e, name: name, resume: make(chan struct{})}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			p.done = true
+			delete(e.procs, p)
+			if r := recover(); r != nil {
+				if !ErrStopped(r) {
+					// Re-panicking here would crash the scheduler
+					// goroutine handshake, so surface loudly instead.
+					panic(fmt.Sprintf("sim: process %q panicked: %v", name, r))
+				}
+				// Shutdown: just exit; scheduler is waiting on yield.
+			}
+			e.yield <- struct{}{}
+		}()
+		if e.closed {
+			panic(stoppedError{})
+		}
+		fn(p)
+	}()
+	e.schedule(e.now, p, nil)
+}
+
+// Run executes events until virtual time exceeds `until` or no events
+// remain. It can be called repeatedly with increasing horizons; state
+// is preserved between calls. Run returns the virtual time reached.
+func (e *VirtualEnv) Run(until time.Duration) time.Duration {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		if next.fn != nil {
+			next.fn()
+			continue
+		}
+		p := next.p
+		if p == nil || p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.now
+}
+
+// Shutdown terminates all live processes (they observe ErrStopped) and
+// releases their goroutines. The environment is unusable afterwards.
+func (e *VirtualEnv) Shutdown() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.events = nil
+	// Every live process is blocked on its resume channel — either
+	// parked in a primitive or waiting to start. Wake each; it observes
+	// closed, panics ErrStopped, and its wrapper yields back.
+	for len(e.procs) > 0 {
+		var p *vproc
+		for q := range e.procs {
+			p = q
+			break
+		}
+		delete(e.procs, p) // the wrapper would delete it anyway
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// NewRand returns a rand.Rand seeded from the environment seed and name.
+func (e *VirtualEnv) NewRand(name string) *rand.Rand {
+	return rand.New(rand.NewSource(seedFor(e.seed, name)))
+}
+
+// ---- Semaphore ----
+
+type vsem struct {
+	env     *VirtualEnv
+	cap     int
+	inUse   int
+	waiters []*vproc
+}
+
+// NewSemaphore creates a FIFO counting semaphore.
+func (e *VirtualEnv) NewSemaphore(capacity int) Semaphore {
+	if capacity < 1 {
+		panic("sim: semaphore capacity must be >= 1")
+	}
+	return &vsem{env: e, cap: capacity}
+}
+
+func (s *vsem) Acquire(p Proc) {
+	vp := p.(*vproc)
+	if s.inUse < s.cap && len(s.waiters) == 0 {
+		s.inUse++
+		return
+	}
+	s.waiters = append(s.waiters, vp)
+	vp.park()
+}
+
+func (s *vsem) TryAcquire() bool {
+	if s.inUse < s.cap && len(s.waiters) == 0 {
+		s.inUse++
+		return true
+	}
+	return false
+}
+
+func (s *vsem) Release() {
+	if s.inUse <= 0 {
+		panic("sim: semaphore release without acquire")
+	}
+	if len(s.waiters) > 0 {
+		// Hand the slot directly to the next waiter; inUse stays the
+		// same. Resume it via an immediate event to stay in scheduler
+		// order.
+		next := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.env.schedule(s.env.now, next, nil)
+		return
+	}
+	s.inUse--
+}
+
+func (s *vsem) InUse() int   { return s.inUse }
+func (s *vsem) Waiting() int { return len(s.waiters) }
+
+// ---- Gate ----
+
+type vgate struct {
+	env     *VirtualEnv
+	waiters []*vproc
+}
+
+// NewGate creates a broadcast condition.
+func (e *VirtualEnv) NewGate() Gate { return &vgate{env: e} }
+
+func (g *vgate) Wait(p Proc) {
+	vp := p.(*vproc)
+	g.waiters = append(g.waiters, vp)
+	vp.park()
+}
+
+func (g *vgate) Broadcast() {
+	for _, w := range g.waiters {
+		g.env.schedule(g.env.now, w, nil)
+	}
+	g.waiters = nil
+}
+
+// ---- Mailbox ----
+
+type vmailbox struct {
+	env   *VirtualEnv
+	queue []any
+	recvs []*vproc
+}
+
+// NewMailbox creates an unbounded FIFO message queue.
+func (e *VirtualEnv) NewMailbox() Mailbox { return &vmailbox{env: e} }
+
+func (m *vmailbox) Send(v any) {
+	m.queue = append(m.queue, v)
+	if len(m.recvs) > 0 {
+		next := m.recvs[0]
+		m.recvs = m.recvs[1:]
+		m.env.schedule(m.env.now, next, nil)
+	}
+}
+
+func (m *vmailbox) Recv(p Proc) any {
+	vp := p.(*vproc)
+	for len(m.queue) == 0 {
+		m.recvs = append(m.recvs, vp)
+		vp.park()
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+func (m *vmailbox) Len() int { return len(m.queue) }

@@ -1,0 +1,207 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BSON-lite: a compact, self-describing binary encoding of documents,
+// in the spirit of BSON. Used for oplog entry payloads (so replication
+// ships bytes, not shared pointers) and as the wire body format.
+//
+// Layout: document = uvarint fieldCount, then per field:
+// uvarint len + name bytes, 1-byte type code, value. Fields are written
+// in sorted name order so encodings are canonical and comparable.
+
+const (
+	btNil    byte = 0x00
+	btFalse  byte = 0x01
+	btTrue   byte = 0x02
+	btInt64  byte = 0x03
+	btFloat  byte = 0x04
+	btString byte = 0x05
+	btBytes  byte = 0x06
+	btArray  byte = 0x07
+	btDoc    byte = 0x08
+)
+
+var errCorrupt = errors.New("storage: corrupt bson-lite data")
+
+// EncodeDoc serializes a document to BSON-lite bytes.
+func EncodeDoc(d Document) []byte {
+	return appendDoc(nil, d)
+}
+
+func appendDoc(dst []byte, d Document) []byte {
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = appendValue(dst, d[k])
+	}
+	return dst
+}
+
+func appendValue(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, btNil)
+	case bool:
+		if x {
+			return append(dst, btTrue)
+		}
+		return append(dst, btFalse)
+	case int64:
+		dst = append(dst, btInt64)
+		return binary.AppendVarint(dst, x)
+	case float64:
+		dst = append(dst, btFloat)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		return append(dst, buf[:]...)
+	case string:
+		dst = append(dst, btString)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	case []byte:
+		dst = append(dst, btBytes)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	case []any:
+		dst = append(dst, btArray)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, e := range x {
+			dst = appendValue(dst, e)
+		}
+		return dst
+	case Document:
+		dst = append(dst, btDoc)
+		return appendDoc(dst, x)
+	case map[string]any:
+		dst = append(dst, btDoc)
+		return appendDoc(dst, Document(x))
+	default:
+		panic(fmt.Sprintf("storage: cannot encode %T (normalize first)", v))
+	}
+}
+
+// DecodeDoc parses BSON-lite bytes back into a document.
+func DecodeDoc(b []byte) (Document, error) {
+	d, rest, err := decodeDoc(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errCorrupt, len(rest))
+	}
+	return d, nil
+}
+
+func decodeDoc(b []byte) (Document, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := make(Document, n)
+	for i := uint64(0); i < n; i++ {
+		var klen uint64
+		klen, b, err = readUvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if uint64(len(b)) < klen {
+			return nil, nil, errCorrupt
+		}
+		key := string(b[:klen])
+		b = b[klen:]
+		var v any
+		v, b, err = decodeValue(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		d[key] = v
+	}
+	return d, b, nil
+}
+
+func decodeValue(b []byte) (any, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, errCorrupt
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case btNil:
+		return nil, b, nil
+	case btFalse:
+		return false, b, nil
+	case btTrue:
+		return true, b, nil
+	case btInt64:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, nil, errCorrupt
+		}
+		return v, b[n:], nil
+	case btFloat:
+		if len(b) < 8 {
+			return nil, nil, errCorrupt
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		return v, b[8:], nil
+	case btString:
+		n, b, err := readUvarint(b)
+		if err != nil || uint64(len(b)) < n {
+			return nil, nil, errCorrupt
+		}
+		return string(b[:n]), b[n:], nil
+	case btBytes:
+		n, b, err := readUvarint(b)
+		if err != nil || uint64(len(b)) < n {
+			return nil, nil, errCorrupt
+		}
+		out := make([]byte, n)
+		copy(out, b[:n])
+		return out, b[n:], nil
+	case btArray:
+		n, b, err := readUvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		arr := make([]any, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e any
+			e, b, err = decodeValue(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			arr = append(arr, e)
+		}
+		return arr, b, nil
+	case btDoc:
+		return decodeDocAsAny(b)
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown type tag 0x%02x", errCorrupt, tag)
+	}
+}
+
+func decodeDocAsAny(b []byte) (any, []byte, error) {
+	d, rest, err := decodeDoc(b)
+	return d, rest, err
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errCorrupt
+	}
+	return v, b[n:], nil
+}

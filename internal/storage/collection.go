@@ -1,0 +1,386 @@
+package storage
+
+import (
+	"cmp"
+	"fmt"
+
+	"decongestant/internal/btree"
+)
+
+// Collection is a set of documents keyed by their _id, with optional
+// secondary compound indexes.
+type Collection struct {
+	name    string
+	docs    *btree.Tree[string, Document]
+	indexes map[string]*Index
+}
+
+// Index is a secondary compound index. Entries are keyed by the
+// memcomparable encoding of the indexed field values followed by the
+// document _id (so duplicates coexist); the entry value is the _id.
+type Index struct {
+	Name   string
+	Fields []string
+	Unique bool
+	tree   *btree.Tree[string, string]
+}
+
+func newCollection(name string) *Collection {
+	return &Collection{
+		name:    name,
+		docs:    btree.New[string, Document](cmp.Compare[string]),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// Name returns the collection name; Len the number of documents.
+func (c *Collection) Name() string { return c.name }
+func (c *Collection) Len() int     { return c.docs.Len() }
+
+// CreateIndex adds a compound index over the given field paths and
+// backfills it from existing documents.
+func (c *Collection) CreateIndex(name string, unique bool, fields ...string) (*Index, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("storage: index %q has no fields", name)
+	}
+	if _, exists := c.indexes[name]; exists {
+		return nil, fmt.Errorf("storage: index %q already exists on %s", name, c.name)
+	}
+	idx := &Index{
+		Name:   name,
+		Fields: fields,
+		Unique: unique,
+		tree:   btree.New[string, string](cmp.Compare[string]),
+	}
+	var backfillErr error
+	c.docs.AscendAll(func(id string, d Document) bool {
+		if err := idx.insert(d, id); err != nil {
+			backfillErr = err
+			return false
+		}
+		return true
+	})
+	if backfillErr != nil {
+		return nil, backfillErr
+	}
+	c.indexes[name] = idx
+	return idx, nil
+}
+
+// Indexes returns the collection's secondary indexes by name.
+func (c *Collection) Indexes() map[string]*Index { return c.indexes }
+
+func (idx *Index) keyFor(d Document, id string) (string, string) {
+	var enc []byte
+	for _, f := range idx.Fields {
+		v, _ := d.Get(f) // missing fields index as nil, like MongoDB
+		enc = AppendKey(enc, v)
+	}
+	prefix := string(enc)
+	return prefix, prefix + "\x00id:" + id
+}
+
+func (idx *Index) insert(d Document, id string) error {
+	prefix, key := idx.keyFor(d, id)
+	if idx.Unique {
+		dup := false
+		idx.tree.Range(prefix, PrefixSuccessor(prefix), func(k, v string) bool {
+			dup = true
+			return false
+		})
+		if dup {
+			return fmt.Errorf("storage: duplicate key for unique index %q", idx.Name)
+		}
+	}
+	idx.tree.Set(key, id)
+	return nil
+}
+
+func (idx *Index) remove(d Document, id string) {
+	_, key := idx.keyFor(d, id)
+	idx.tree.Delete(key)
+}
+
+func (idx *Index) removeKey(key string) { idx.tree.Delete(key) }
+
+// Insert adds a document. The document must carry a string _id that is
+// not already present. The stored copy is normalized and detached from
+// the caller's value.
+func (c *Collection) Insert(doc Document) error {
+	norm, err := doc.Normalized()
+	if err != nil {
+		return err
+	}
+	id, ok := norm["_id"].(string)
+	if !ok || id == "" {
+		return fmt.Errorf("storage: insert into %s requires a string _id", c.name)
+	}
+	if _, exists := c.docs.Get(id); exists {
+		return fmt.Errorf("storage: duplicate _id %q in %s", id, c.name)
+	}
+	stored := norm.Clone()
+	for _, idx := range c.indexes {
+		if err := idx.insert(stored, id); err != nil {
+			// Roll back entries added so far.
+			for _, undo := range c.indexes {
+				if undo == idx {
+					break
+				}
+				undo.remove(stored, id)
+			}
+			return err
+		}
+	}
+	c.docs.Set(id, stored)
+	return nil
+}
+
+// Upsert inserts the document or fully replaces an existing one with
+// the same _id. Used by idempotent oplog application.
+func (c *Collection) Upsert(doc Document) error {
+	norm, err := doc.Normalized()
+	if err != nil {
+		return err
+	}
+	id, ok := norm["_id"].(string)
+	if !ok || id == "" {
+		return fmt.Errorf("storage: upsert into %s requires a string _id", c.name)
+	}
+	if old, exists := c.docs.Get(id); exists {
+		for _, idx := range c.indexes {
+			idx.remove(old, id)
+		}
+	}
+	stored := norm.Clone()
+	for _, idx := range c.indexes {
+		if err := idx.insert(stored, id); err != nil {
+			return err
+		}
+	}
+	c.docs.Set(id, stored)
+	return nil
+}
+
+// ApplySet merges the given fields into the document with the given
+// _id, creating it if absent. The operation is idempotent: re-applying
+// the same set yields the same state. It returns the post-image as a
+// live (read-only) view of the stored document — this is the write
+// hot path, so it avoids defensive copies; callers needing a detached
+// document clone it themselves.
+func (c *Collection) ApplySet(id string, fields Document) (Document, error) {
+	norm, err := fields.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	old, exists := c.docs.Get(id)
+	if !exists {
+		merged := Document{"_id": id}
+		for k, v := range norm {
+			if k == "_id" {
+				continue
+			}
+			merged[k] = cloneValue(v)
+		}
+		for _, idx := range c.indexes {
+			if err := idx.insert(merged, id); err != nil {
+				return nil, err
+			}
+		}
+		c.docs.Set(id, merged)
+		return merged, nil
+	}
+	// Capture the old index keys before mutating in place.
+	oldKeys := make([]string, 0, len(c.indexes))
+	idxs := make([]*Index, 0, len(c.indexes))
+	for _, idx := range c.indexes {
+		_, key := idx.keyFor(old, id)
+		oldKeys = append(oldKeys, key)
+		idxs = append(idxs, idx)
+	}
+	for k, v := range norm {
+		if k == "_id" {
+			continue
+		}
+		old[k] = cloneValue(v)
+	}
+	for i, idx := range idxs {
+		idx.removeKey(oldKeys[i])
+		if err := idx.insert(old, id); err != nil {
+			return nil, err
+		}
+	}
+	return old, nil
+}
+
+// Delete removes the document with the given _id; it reports whether a
+// document was removed.
+func (c *Collection) Delete(id string) bool {
+	doc, exists := c.docs.Get(id)
+	if !exists {
+		return false
+	}
+	for _, idx := range c.indexes {
+		idx.remove(doc, id)
+	}
+	c.docs.Delete(id)
+	return true
+}
+
+// FindByID returns a detached copy of the document with the given _id.
+func (c *Collection) FindByID(id string) (Document, bool) {
+	d, ok := c.docs.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// FindByIDShared returns the stored document without copying. The
+// caller must not modify it (or anything reachable from it).
+func (c *Collection) FindByIDShared(id string) (Document, bool) {
+	return c.docs.Get(id)
+}
+
+// Find returns detached copies of documents matching the filter, up to
+// limit (0 = no limit). It uses a secondary index when the filter has
+// equality conditions on an index's leading fields (optionally followed
+// by one range condition on the next field); otherwise it scans.
+func (c *Collection) Find(f Filter, limit int) []Document {
+	var out []Document
+	emit := func(d Document) bool {
+		if f.Matches(d) {
+			out = append(out, d.Clone())
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	}
+	if idx, lo, hi := c.planIndex(f); idx != nil {
+		idx.tree.Range(lo, hi, func(k, id string) bool {
+			d, ok := c.docs.Get(id)
+			if !ok {
+				return true
+			}
+			return emit(d)
+		})
+		return out
+	}
+	c.docs.AscendAll(func(id string, d Document) bool { return emit(d) })
+	return out
+}
+
+// FindShared is Find without the defensive copies: results are the
+// stored documents themselves and must be treated as read-only.
+func (c *Collection) FindShared(f Filter, limit int) []Document {
+	var out []Document
+	emit := func(d Document) bool {
+		if f.Matches(d) {
+			out = append(out, d)
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	}
+	if idx, lo, hi := c.planIndex(f); idx != nil {
+		idx.tree.Range(lo, hi, func(k, id string) bool {
+			d, ok := c.docs.Get(id)
+			if !ok {
+				return true
+			}
+			return emit(d)
+		})
+		return out
+	}
+	c.docs.AscendAll(func(id string, d Document) bool { return emit(d) })
+	return out
+}
+
+// Count returns the number of documents matching the filter.
+func (c *Collection) Count(f Filter) int {
+	n := 0
+	if idx, lo, hi := c.planIndex(f); idx != nil {
+		idx.tree.Range(lo, hi, func(k, id string) bool {
+			if d, ok := c.docs.Get(id); ok && f.Matches(d) {
+				n++
+			}
+			return true
+		})
+		return n
+	}
+	c.docs.AscendAll(func(id string, d Document) bool {
+		if f.Matches(d) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// planIndex picks an index usable for the filter and returns the scan
+// bounds, or nil if none applies.
+func (c *Collection) planIndex(f Filter) (*Index, string, string) {
+	var best *Index
+	var bestLo, bestHi string
+	bestScore := 0
+	for _, idx := range c.indexes {
+		score := 0
+		var enc []byte
+		usable := true
+		var lo, hi string
+		for i, field := range idx.Fields {
+			cnd, ok := f[field]
+			if !ok {
+				break
+			}
+			if cnd.Op == OpEq {
+				enc = AppendKey(enc, cnd.Value)
+				score = i + 1
+				continue
+			}
+			// One trailing range condition is usable.
+			if cnd.Op == OpGt || cnd.Op == OpGte || cnd.Op == OpLt || cnd.Op == OpLte {
+				prefix := string(enc)
+				switch cnd.Op {
+				case OpGt, OpGte:
+					lo = string(AppendKey([]byte(prefix), cnd.Value))
+					if cnd.Op == OpGt {
+						lo = PrefixSuccessor(lo)
+					}
+					hi = PrefixSuccessor(prefix)
+				case OpLt, OpLte:
+					lo = prefix
+					hi = string(AppendKey([]byte(prefix), cnd.Value))
+					if cnd.Op == OpLte {
+						hi = PrefixSuccessor(hi)
+					}
+				}
+				score = i + 1
+			}
+			break
+		}
+		if !usable || score == 0 {
+			continue
+		}
+		if lo == "" && hi == "" {
+			prefix := string(enc)
+			lo, hi = prefix, PrefixSuccessor(prefix)
+		}
+		if score > bestScore {
+			best, bestLo, bestHi, bestScore = idx, lo, hi, score
+		}
+	}
+	if best == nil {
+		return nil, "", ""
+	}
+	if bestHi == "" {
+		bestHi = "\xff\xff\xff\xff\xff\xff\xff\xff"
+	}
+	return best, bestLo, bestHi
+}
+
+// ScanIDs iterates document ids in _id order, for diagnostics/tests.
+func (c *Collection) ScanIDs(fn func(id string) bool) {
+	c.docs.AscendAll(func(id string, d Document) bool { return fn(id) })
+}

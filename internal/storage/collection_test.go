@@ -1,0 +1,294 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestInsertFindDelete(t *testing.T) {
+	s := NewStore()
+	c := s.C("users")
+	if err := c.Insert(D{"_id": "u1", "name": "ada", "age": 36}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(D{"_id": "u1", "name": "dup"}); err == nil {
+		t.Fatal("duplicate _id accepted")
+	}
+	if err := c.Insert(D{"name": "no id"}); err == nil {
+		t.Fatal("missing _id accepted")
+	}
+	d, ok := c.FindByID("u1")
+	if !ok || d.Str("name") != "ada" || d.Int("age") != 36 {
+		t.Fatalf("FindByID: %v %v", d, ok)
+	}
+	if !c.Delete("u1") {
+		t.Fatal("delete failed")
+	}
+	if c.Delete("u1") {
+		t.Fatal("second delete succeeded")
+	}
+	if _, ok := c.FindByID("u1"); ok {
+		t.Fatal("found after delete")
+	}
+}
+
+func TestStoredCopyDetached(t *testing.T) {
+	c := NewStore().C("c")
+	orig := D{"_id": "x", "v": 1, "nested": D{"a": 1}}
+	if err := c.Insert(orig); err != nil {
+		t.Fatal(err)
+	}
+	orig["v"] = 999
+	orig["nested"].(D)["a"] = 999
+	got, _ := c.FindByID("x")
+	if got.Int("v") != 1 || got.Doc("nested").Int("a") != 1 {
+		t.Fatal("stored document aliases caller value")
+	}
+	got["v"] = int64(777)
+	again, _ := c.FindByID("x")
+	if again.Int("v") != 1 {
+		t.Fatal("returned document aliases stored value")
+	}
+}
+
+func TestApplySetMergeAndIdempotence(t *testing.T) {
+	c := NewStore().C("c")
+	if err := c.Insert(D{"_id": "k", "a": 1, "b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	post, err := c.ApplySet("k", D{"b": 20, "c": 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Int("a") != 1 || post.Int("b") != 20 || post.Int("c") != 30 {
+		t.Fatalf("post-image wrong: %v", post)
+	}
+	// Re-apply: state unchanged (idempotent, as oplog application needs).
+	post2, err := c.ApplySet("k", D{"b": 20, "c": 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(post, post2) {
+		t.Fatalf("re-apply changed state: %v vs %v", post, post2)
+	}
+	// ApplySet on a missing id creates the document.
+	if _, err := c.ApplySet("new", D{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := c.FindByID("new"); !ok || d.Int("x") != 1 {
+		t.Fatal("ApplySet did not upsert")
+	}
+}
+
+func TestUpsertReplaces(t *testing.T) {
+	c := NewStore().C("c")
+	if err := c.Upsert(D{"_id": "k", "a": 1, "b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upsert(D{"_id": "k", "a": 10}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.FindByID("k")
+	if d.Int("a") != 10 {
+		t.Fatalf("a=%d", d.Int("a"))
+	}
+	if _, present := d["b"]; present {
+		t.Fatal("upsert merged instead of replacing")
+	}
+}
+
+func TestFindWithFilterFullScan(t *testing.T) {
+	c := NewStore().C("c")
+	for i := 0; i < 100; i++ {
+		if err := c.Insert(D{"_id": fmt.Sprintf("d%03d", i), "n": i, "mod": i % 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Find(Filter{"mod": Eq(3)}, 0)
+	if len(got) != 10 {
+		t.Fatalf("found %d, want 10", len(got))
+	}
+	got = c.Find(Filter{"n": Gte(90), "mod": Lt(5)}, 0)
+	if len(got) != 5 {
+		t.Fatalf("found %d, want 5", len(got))
+	}
+	got = c.Find(Filter{"mod": Eq(3)}, 4)
+	if len(got) != 4 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+	if n := c.Count(Filter{"mod": In(1, 2)}); n != 20 {
+		t.Fatalf("Count=%d, want 20", n)
+	}
+}
+
+func TestSecondaryIndexEqualityAndRange(t *testing.T) {
+	c := NewStore().C("orders")
+	if _, err := c.CreateIndex("wdo", false, "w", "d", "o"); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for w := 1; w <= 3; w++ {
+		for d := 1; d <= 4; d++ {
+			for o := 1; o <= 25; o++ {
+				n++
+				err := c.Insert(D{"_id": fmt.Sprintf("o%d", n), "w": w, "d": d, "o": o})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	got := c.Find(Filter{"w": Eq(2), "d": Eq(3)}, 0)
+	if len(got) != 25 {
+		t.Fatalf("equality prefix found %d, want 25", len(got))
+	}
+	// Leading equalities + trailing range (the Stock Level pattern).
+	got = c.Find(Filter{"w": Eq(2), "d": Eq(3), "o": Gt(5)}, 0)
+	if len(got) != 20 {
+		t.Fatalf("range found %d, want 20", len(got))
+	}
+	got = c.Find(Filter{"w": Eq(2), "d": Eq(3), "o": Gte(5)}, 0)
+	if len(got) != 21 {
+		t.Fatalf("gte found %d, want 21", len(got))
+	}
+	got = c.Find(Filter{"w": Eq(2), "d": Eq(3), "o": Lte(5)}, 0)
+	if len(got) != 5 {
+		t.Fatalf("lte found %d, want 5", len(got))
+	}
+	got = c.Find(Filter{"w": Eq(2), "d": Eq(3), "o": Lt(5)}, 0)
+	if len(got) != 4 {
+		t.Fatalf("lt found %d, want 4", len(got))
+	}
+}
+
+func TestIndexMaintainedAcrossUpdateDelete(t *testing.T) {
+	c := NewStore().C("c")
+	if _, err := c.CreateIndex("byV", false, "v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.Insert(D{"_id": fmt.Sprintf("k%d", i), "v": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.ApplySet("k5", D{"v": 100}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Find(Filter{"v": Eq(5)}, 0); len(got) != 0 {
+		t.Fatal("old index entry survived update")
+	}
+	if got := c.Find(Filter{"v": Eq(100)}, 0); len(got) != 1 {
+		t.Fatal("new index entry missing after update")
+	}
+	c.Delete("k6")
+	if got := c.Find(Filter{"v": Eq(6)}, 0); len(got) != 0 {
+		t.Fatal("index entry survived delete")
+	}
+}
+
+func TestIndexBackfill(t *testing.T) {
+	c := NewStore().C("c")
+	for i := 0; i < 50; i++ {
+		if err := c.Insert(D{"_id": fmt.Sprintf("k%d", i), "grp": i % 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CreateIndex("byGrp", false, "grp"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Find(Filter{"grp": Eq(2)}, 0); len(got) != 10 {
+		t.Fatalf("backfilled index found %d, want 10", len(got))
+	}
+	if _, err := c.CreateIndex("byGrp", false, "grp"); err == nil {
+		t.Fatal("duplicate index name accepted")
+	}
+}
+
+func TestUniqueIndexRejectsDuplicates(t *testing.T) {
+	c := NewStore().C("c")
+	if _, err := c.CreateIndex("uniq", true, "email"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(D{"_id": "a", "email": "x@y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(D{"_id": "b", "email": "x@y"}); err == nil {
+		t.Fatal("unique violation accepted")
+	}
+	// Failed insert must not leave the doc behind.
+	if _, ok := c.FindByID("b"); ok {
+		t.Fatal("rejected document stored")
+	}
+	if err := c.Insert(D{"_id": "b", "email": "z@y"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingIndexedFieldIndexesAsNil(t *testing.T) {
+	c := NewStore().C("c")
+	if _, err := c.CreateIndex("byV", false, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(D{"_id": "novalue"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(D{"_id": "with", "v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Find(Filter{"v": Eq(1)}, 0); len(got) != 1 {
+		t.Fatalf("found %d", len(got))
+	}
+}
+
+func TestStoreCollections(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("a"); err == nil {
+		t.Fatal("duplicate collection accepted")
+	}
+	s.C("b").Insert(D{"_id": "1"})
+	if _, ok := s.Lookup("zzz"); ok {
+		t.Fatal("Lookup invented a collection")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names=%v", names)
+	}
+	if s.TotalDocs() != 1 {
+		t.Fatalf("TotalDocs=%d", s.TotalDocs())
+	}
+}
+
+func TestFilterOperators(t *testing.T) {
+	d := D{"n": int64(5), "s": "abc", "b": true}
+	cases := []struct {
+		f    Filter
+		want bool
+	}{
+		{Filter{"n": Eq(5)}, true},
+		{Filter{"n": Eq(5.0)}, true},
+		{Filter{"n": Ne(4)}, true},
+		{Filter{"n": Ne(5)}, false},
+		{Filter{"n": Gt(4)}, true},
+		{Filter{"n": Gt(5)}, false},
+		{Filter{"n": Gte(5)}, true},
+		{Filter{"n": Lt(6)}, true},
+		{Filter{"n": Lte(5)}, true},
+		{Filter{"n": In(1, 5, 9)}, true},
+		{Filter{"n": In(1, 9)}, false},
+		{Filter{"n": Exists()}, true},
+		{Filter{"missing": Exists()}, false},
+		{Filter{"missing": Ne(1)}, true}, // absent field != value
+		{Filter{"s": Gt("abb")}, true},
+		{Filter{"s": Gt(5)}, false}, // type-bracketed: no cross-type range
+		{Filter{"n": Eq(5), "s": Eq("abc")}, true},
+		{Filter{"n": Eq(5), "s": Eq("zzz")}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.f.Matches(d); got != tc.want {
+			t.Errorf("case %d: Matches=%v, want %v", i, got, tc.want)
+		}
+	}
+}

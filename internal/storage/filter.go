@@ -1,0 +1,156 @@
+package storage
+
+// Query filters: a Filter maps field paths to conditions. All
+// conditions must hold (implicit AND), mirroring the common MongoDB
+// find shape {f1: v1, f2: {$gt: v2}}.
+
+// Op is a comparison operator in a filter condition.
+type Op int
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpGt
+	OpGte
+	OpLt
+	OpLte
+	OpIn
+	OpExists
+)
+
+// Cond is a single condition on a field.
+type Cond struct {
+	Op     Op
+	Value  any
+	Values []any // for OpIn
+}
+
+// Filter maps field paths to conditions; all must match.
+type Filter map[string]Cond
+
+// Eq, Ne, Gt, Gte, Lt, Lte, In and Exists build conditions.
+func Eq(v any) Cond  { return Cond{Op: OpEq, Value: mustNormalize(v)} }
+func Ne(v any) Cond  { return Cond{Op: OpNe, Value: mustNormalize(v)} }
+func Gt(v any) Cond  { return Cond{Op: OpGt, Value: mustNormalize(v)} }
+func Gte(v any) Cond { return Cond{Op: OpGte, Value: mustNormalize(v)} }
+func Lt(v any) Cond  { return Cond{Op: OpLt, Value: mustNormalize(v)} }
+func Lte(v any) Cond { return Cond{Op: OpLte, Value: mustNormalize(v)} }
+func Exists() Cond   { return Cond{Op: OpExists} }
+func In(vs ...any) Cond {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = mustNormalize(v)
+	}
+	return Cond{Op: OpIn, Values: out}
+}
+
+func mustNormalize(v any) any {
+	n, err := Normalize(v)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Matches reports whether the document satisfies every condition.
+func (f Filter) Matches(d Document) bool {
+	for path, c := range f {
+		v, ok := d.Get(path)
+		if !c.matches(v, ok) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c Cond) matches(v any, present bool) bool {
+	switch c.Op {
+	case OpExists:
+		return present
+	case OpEq:
+		return present && Equal(v, c.Value)
+	case OpNe:
+		return !present || !Equal(v, c.Value)
+	case OpIn:
+		if !present {
+			return false
+		}
+		for _, w := range c.Values {
+			if Equal(v, w) {
+				return true
+			}
+		}
+		return false
+	}
+	if !present {
+		return false
+	}
+	cmp, ok := Compare(v, c.Value)
+	if !ok {
+		return false
+	}
+	switch c.Op {
+	case OpGt:
+		return cmp > 0
+	case OpGte:
+		return cmp >= 0
+	case OpLt:
+		return cmp < 0
+	case OpLte:
+		return cmp <= 0
+	}
+	return false
+}
+
+// Compare orders two scalar values. It returns ok=false when the types
+// are not mutually comparable (e.g. string vs number): range conditions
+// then fail, matching MongoDB's type-bracketed comparisons.
+func Compare(a, b any) (int, bool) {
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return cmpOrdered(x, y), true
+		case float64:
+			return cmpOrdered(float64(x), y), true
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return cmpOrdered(x, float64(y)), true
+		case float64:
+			return cmpOrdered(x, y), true
+		}
+	case string:
+		if y, ok := b.(string); ok {
+			return cmpOrdered(x, y), true
+		}
+	case bool:
+		if y, ok := b.(bool); ok {
+			switch {
+			case x == y:
+				return 0, true
+			case !x:
+				return -1, true
+			default:
+				return 1, true
+			}
+		}
+	case nil:
+		if b == nil {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func cmpOrdered[T int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

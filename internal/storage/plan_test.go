@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickIndexScanEquivalentToFullScan: for random datasets and
+// random (indexable) filters, a collection with a matching compound
+// index must return exactly the same documents as one without any
+// index.
+func TestQuickIndexScanEquivalentToFullScan(t *testing.T) {
+	type q struct {
+		WEq   uint8
+		DEq   uint8
+		OpSel uint8
+		Bound uint8
+	}
+	f := func(seed int64, queries []q) bool {
+		rng := rand.New(rand.NewSource(seed))
+		indexed := NewStore().C("c")
+		plain := NewStore().C("c")
+		if _, err := indexed.CreateIndex("wdo", false, "w", "d", "o"); err != nil {
+			return false
+		}
+		n := 200
+		for i := 0; i < n; i++ {
+			doc := D{
+				"_id": fmt.Sprintf("x%d", i),
+				"w":   rng.Intn(4),
+				"d":   rng.Intn(5),
+				"o":   rng.Intn(30),
+			}
+			if indexed.Insert(doc) != nil || plain.Insert(doc) != nil {
+				return false
+			}
+		}
+		for _, query := range queries {
+			filter := Filter{
+				"w": Eq(int(query.WEq % 4)),
+				"d": Eq(int(query.DEq % 5)),
+			}
+			bound := int(query.Bound % 30)
+			switch query.OpSel % 5 {
+			case 0:
+				filter["o"] = Gt(bound)
+			case 1:
+				filter["o"] = Gte(bound)
+			case 2:
+				filter["o"] = Lt(bound)
+			case 3:
+				filter["o"] = Lte(bound)
+			case 4:
+				filter["o"] = Eq(bound)
+			}
+			a := idsOf(indexed.Find(filter, 0))
+			b := idsOf(plain.Find(filter, 0))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			if indexed.Count(filter) != plain.Count(filter) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func idsOf(docs []Document) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		out[i] = d.ID()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestQuickLimitConsistency: with a limit, results are a subset of the
+// unlimited results and at most `limit` long.
+func TestQuickLimitConsistency(t *testing.T) {
+	f := func(seed int64, limit uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewStore().C("c")
+		c.CreateIndex("byG", false, "g")
+		for i := 0; i < 100; i++ {
+			c.Insert(D{"_id": fmt.Sprintf("k%d", i), "g": rng.Intn(3)})
+		}
+		filter := Filter{"g": Eq(1)}
+		lim := int(limit%20) + 1
+		all := map[string]bool{}
+		for _, d := range c.Find(filter, 0) {
+			all[d.ID()] = true
+		}
+		limited := c.Find(filter, lim)
+		if len(limited) > lim {
+			return false
+		}
+		if len(all) >= lim && len(limited) != lim {
+			return false
+		}
+		for _, d := range limited {
+			if !all[d.ID()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStorageInsert(b *testing.B) {
+	c := NewStore().C("bench")
+	c.CreateIndex("byN", false, "n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(D{"_id": fmt.Sprintf("k%d", i), "n": i % 1000, "payload": "xxxxxxxxxxxxxxxx"})
+	}
+}
+
+func BenchmarkStorageFindByID(b *testing.B) {
+	c := NewStore().C("bench")
+	for i := 0; i < 100000; i++ {
+		c.Insert(D{"_id": fmt.Sprintf("k%d", i), "n": i})
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FindByID(fmt.Sprintf("k%d", rng.Intn(100000)))
+	}
+}
+
+func BenchmarkStorageFindByIDShared(b *testing.B) {
+	c := NewStore().C("bench")
+	for i := 0; i < 100000; i++ {
+		c.Insert(D{"_id": fmt.Sprintf("k%d", i), "n": i})
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FindByIDShared(fmt.Sprintf("k%d", rng.Intn(100000)))
+	}
+}
+
+func BenchmarkStorageIndexedFind(b *testing.B) {
+	c := NewStore().C("bench")
+	c.CreateIndex("wdo", false, "w", "d", "o")
+	for i := 0; i < 50000; i++ {
+		c.Insert(D{"_id": fmt.Sprintf("k%d", i), "w": i % 10, "d": (i / 10) % 10, "o": i / 100})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Find(Filter{"w": Eq(i % 10), "d": Eq(3), "o": Gte(100)}, 0)
+	}
+}
+
+func BenchmarkBSONLiteEncodeDecode(b *testing.B) {
+	d := D{"_id": "k", "a": int64(1), "b": "some string value here", "c": 3.14,
+		"arr": []any{int64(1), int64(2), int64(3)}, "nested": D{"x": "y"}}
+	nd, _ := d.Normalized()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeDoc(nd)
+		if _, err := DecodeDoc(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Store is a named set of collections: one node's local database.
+type Store struct {
+	collections map[string]*Collection
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{collections: make(map[string]*Collection)}
+}
+
+// Create makes a new, empty collection. It errors if one exists.
+func (s *Store) Create(name string) (*Collection, error) {
+	if _, ok := s.collections[name]; ok {
+		return nil, fmt.Errorf("storage: collection %q already exists", name)
+	}
+	c := newCollection(name)
+	s.collections[name] = c
+	return c, nil
+}
+
+// C returns the collection with the given name, creating it if needed.
+func (s *Store) C(name string) *Collection {
+	if c, ok := s.collections[name]; ok {
+		return c
+	}
+	c := newCollection(name)
+	s.collections[name] = c
+	return c
+}
+
+// Lookup returns the named collection without creating it.
+func (s *Store) Lookup(name string) (*Collection, bool) {
+	c, ok := s.collections[name]
+	return c, ok
+}
+
+// Names returns the collection names in sorted order.
+func (s *Store) Names() []string {
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalDocs returns the number of documents across all collections.
+func (s *Store) TotalDocs() int {
+	n := 0
+	for _, c := range s.collections {
+		n += c.Len()
+	}
+	return n
+}

@@ -1,0 +1,417 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/driver"
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// Client is a network connection to a wire server implementing
+// driver.Conn, so driver.Client, the Read Balancer and the Router run
+// against a remote replica set exactly as they do in-process.
+//
+// Each concurrent caller borrows a TCP connection from a pool;
+// requests on one connection are serial.
+type Client struct {
+	addr    string
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	idle    []*poolConn
+	topo    Topology
+	topoAt  time.Time
+	topoTTL time.Duration
+	closed  bool
+}
+
+type poolConn struct {
+	c net.Conn
+}
+
+// Statically assert Client satisfies the driver's connection
+// interfaces, including the causal-session capability.
+var (
+	_ driver.Conn       = (*Client)(nil)
+	_ driver.CausalConn = (*Client)(nil)
+)
+
+// Dial connects to a wire server and fetches the initial topology.
+func Dial(addr string) (*Client, error) {
+	cl := &Client{addr: addr, topoTTL: 5 * time.Second}
+	if err := cl.refreshTopology(); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Close releases all pooled connections.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.closed = true
+	for _, pc := range cl.idle {
+		pc.c.Close()
+	}
+	cl.idle = nil
+}
+
+func (cl *Client) getConn() (*poolConn, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, errors.New("wire: client closed")
+	}
+	if n := len(cl.idle); n > 0 {
+		pc := cl.idle[n-1]
+		cl.idle = cl.idle[:n-1]
+		cl.mu.Unlock()
+		return pc, nil
+	}
+	cl.mu.Unlock()
+	c, err := net.Dial("tcp", cl.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &poolConn{c: c}, nil
+}
+
+func (cl *Client) putConn(pc *poolConn, broken bool) {
+	if broken {
+		pc.c.Close()
+		return
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		pc.c.Close()
+	} else {
+		cl.idle = append(cl.idle, pc)
+	}
+	cl.mu.Unlock()
+}
+
+// roundTrip sends one request and waits for its response.
+func (cl *Client) roundTrip(req *Request) (*Response, error) {
+	req.ID = cl.nextID.Add(1)
+	pc, err := cl.getConn()
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(pc.c, req); err != nil {
+		cl.putConn(pc, true)
+		return nil, err
+	}
+	var resp Response
+	if err := ReadFrame(pc.c, &resp); err != nil {
+		cl.putConn(pc, true)
+		return nil, err
+	}
+	cl.putConn(pc, false)
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return &resp, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+func (cl *Client) refreshTopology() error {
+	resp, err := cl.roundTrip(&Request{Op: OpTopology})
+	if err != nil {
+		return err
+	}
+	if resp.Topo == nil {
+		return errors.New("wire: empty topology")
+	}
+	cl.mu.Lock()
+	cl.topo = *resp.Topo
+	cl.topoAt = time.Now()
+	cl.mu.Unlock()
+	return nil
+}
+
+func (cl *Client) topology() Topology {
+	cl.mu.Lock()
+	fresh := time.Since(cl.topoAt) < cl.topoTTL
+	topo := cl.topo
+	cl.mu.Unlock()
+	if !fresh {
+		if err := cl.refreshTopology(); err == nil {
+			cl.mu.Lock()
+			topo = cl.topo
+			cl.mu.Unlock()
+		}
+	}
+	return topo
+}
+
+// NodeIDs implements driver.Conn.
+func (cl *Client) NodeIDs() []int {
+	topo := cl.topology()
+	ids := make([]int, len(topo.Zones))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// PrimaryID implements driver.Conn.
+func (cl *Client) PrimaryID() int { return cl.topology().Primary }
+
+// Zone implements driver.Conn.
+func (cl *Client) Zone(id int) string {
+	topo := cl.topology()
+	if id < 0 || id >= len(topo.Zones) {
+		return ""
+	}
+	return topo.Zones[id]
+}
+
+// Ping implements driver.Conn: one protocol round trip, timed.
+func (cl *Client) Ping(p sim.Proc, nodeID int) time.Duration {
+	start := time.Now()
+	if _, err := cl.roundTrip(&Request{Op: OpPing, Node: nodeID}); err != nil {
+		return time.Since(start)
+	}
+	return time.Since(start)
+}
+
+// ServerStatus implements driver.Conn.
+func (cl *Client) ServerStatus(p sim.Proc, nodeID int) cluster.Status {
+	resp, err := cl.roundTrip(&Request{Op: OpStatus, Node: nodeID})
+	if err != nil || resp.Status == nil {
+		return cluster.Status{From: nodeID}
+	}
+	st := cluster.Status{From: resp.Status.From, Primary: resp.Status.Primary}
+	for _, m := range resp.Status.Members {
+		st.Members = append(st.Members, cluster.MemberStatus{
+			ID: m.ID, Primary: m.Primary,
+			Applied: optimeFrom(m.Secs, m.Inc),
+		})
+	}
+	return st
+}
+
+// ExecRead implements driver.Conn: the body runs locally against a
+// remote view whose every method is one network round trip to the
+// chosen node.
+func (cl *Client) ExecRead(p sim.Proc, nodeID int, fn func(v cluster.ReadView) (any, error)) (any, error) {
+	view := &remoteReadView{cl: cl, node: nodeID}
+	res, err := fn(view)
+	if err != nil {
+		return nil, err
+	}
+	return res, view.err
+}
+
+// ExecWrite implements driver.Conn: reads inside the body are round
+// trips to the primary; mutations are buffered and committed with one
+// write_batch request.
+func (cl *Client) ExecWrite(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, error) {
+	tx := &remoteWriteTxn{remoteReadView: remoteReadView{cl: cl, node: cl.PrimaryID()}}
+	res, err := fn(tx)
+	if err != nil {
+		return nil, err
+	}
+	if tx.err != nil {
+		return nil, tx.err
+	}
+	if len(tx.muts) > 0 {
+		if _, err := cl.roundTrip(&Request{Op: OpWriteBatch, Muts: tx.muts}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ExecReadAfter implements driver.CausalConn: every op of the body
+// carries the afterClusterTime prerequisite; the returned OpTime is
+// the highest node-applied time observed across the body's ops.
+func (cl *Client) ExecReadAfter(p sim.Proc, nodeID int, after oplog.OpTime, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
+	view := &remoteReadView{cl: cl, node: nodeID, after: after}
+	res, err := fn(view)
+	if err != nil {
+		return nil, oplog.Zero, err
+	}
+	return res, view.seen, view.err
+}
+
+// ExecWriteTracked implements driver.CausalConn: the write batch's
+// commit OpTime comes back in the response.
+func (cl *Client) ExecWriteTracked(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, oplog.OpTime, error) {
+	tx := &remoteWriteTxn{remoteReadView: remoteReadView{cl: cl, node: cl.PrimaryID()}}
+	res, err := fn(tx)
+	if err != nil {
+		return nil, oplog.Zero, err
+	}
+	if tx.err != nil {
+		return nil, oplog.Zero, tx.err
+	}
+	var commit oplog.OpTime
+	if len(tx.muts) > 0 {
+		resp, err := cl.roundTrip(&Request{Op: OpWriteBatch, Muts: tx.muts})
+		if err != nil {
+			return nil, oplog.Zero, err
+		}
+		commit = oplog.OpTime{Secs: resp.OpSecs, Inc: resp.OpInc}
+	}
+	return res, commit, nil
+}
+
+// remoteReadView implements cluster.ReadView over the wire. Errors are
+// sticky: the first failed round trip poisons the view, and ExecRead
+// surfaces it. When `after` is non-zero every op carries the causal
+// prerequisite, and `seen` accumulates the highest node OpTime
+// returned.
+type remoteReadView struct {
+	cl    *Client
+	node  int
+	err   error
+	after oplog.OpTime
+	seen  oplog.OpTime
+}
+
+// observe folds a response's node OpTime into the view's causal token.
+func (v *remoteReadView) observe(resp *Response) {
+	ts := oplog.OpTime{Secs: resp.OpSecs, Inc: resp.OpInc}
+	if v.seen.Before(ts) {
+		v.seen = ts
+	}
+}
+
+// request builds the base request with the causal prerequisite.
+func (v *remoteReadView) request(op string) *Request {
+	return &Request{Op: op, Node: v.node, AfterSecs: v.after.Secs, AfterInc: v.after.Inc}
+}
+
+func (v *remoteReadView) fail(err error) {
+	if v.err == nil && err != nil {
+		v.err = err
+	}
+}
+
+func (v *remoteReadView) FindByID(collection, id string) (storage.Document, bool) {
+	req := v.request(OpFindByID)
+	req.Collection, req.DocID = collection, id
+	resp, err := v.cl.roundTrip(req)
+	if err != nil {
+		v.fail(err)
+		return nil, false
+	}
+	v.observe(resp)
+	if !resp.Found {
+		return nil, false
+	}
+	doc, err := jsonToDoc(resp.Doc)
+	if err != nil {
+		v.fail(err)
+		return nil, false
+	}
+	return doc, true
+}
+
+func (v *remoteReadView) FindByIDShared(collection, id string) (storage.Document, bool) {
+	return v.FindByID(collection, id) // no shared memory across the wire
+}
+
+func (v *remoteReadView) FindManyByIDShared(collection string, ids []string) []storage.Document {
+	return v.FindManyByID(collection, ids)
+}
+
+func (v *remoteReadView) FindShared(collection string, f storage.Filter, limit int) []storage.Document {
+	return v.Find(collection, f, limit)
+}
+
+func (v *remoteReadView) FindManyByID(collection string, ids []string) []storage.Document {
+	req := v.request(OpFindMany)
+	req.Collection, req.IDs = collection, ids
+	resp, err := v.cl.roundTrip(req)
+	if err != nil {
+		v.fail(err)
+		return nil
+	}
+	v.observe(resp)
+	return v.decodeDocs(resp.Docs)
+}
+
+func (v *remoteReadView) Find(collection string, f storage.Filter, limit int) []storage.Document {
+	req := v.request(OpFind)
+	req.Collection, req.Filter, req.Limit = collection, EncodeFilter(f), limit
+	resp, err := v.cl.roundTrip(req)
+	if err != nil {
+		v.fail(err)
+		return nil
+	}
+	v.observe(resp)
+	return v.decodeDocs(resp.Docs)
+}
+
+func (v *remoteReadView) Count(collection string, f storage.Filter) int {
+	req := v.request(OpCount)
+	req.Collection, req.Filter = collection, EncodeFilter(f)
+	resp, err := v.cl.roundTrip(req)
+	if err != nil {
+		v.fail(err)
+		return 0
+	}
+	v.observe(resp)
+	return resp.Count
+}
+
+func (v *remoteReadView) AddUnits(int) {} // costs are charged server-side
+
+func (v *remoteReadView) decodeDocs(raw []map[string]any) []storage.Document {
+	out := make([]storage.Document, 0, len(raw))
+	for _, m := range raw {
+		d, err := jsonToDoc(m)
+		if err != nil {
+			v.fail(err)
+			return nil
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// remoteWriteTxn buffers mutations client-side; ExecWrite ships them
+// as one batch.
+type remoteWriteTxn struct {
+	remoteReadView
+	muts []Mutation
+}
+
+func (t *remoteWriteTxn) Insert(collection string, doc storage.Document) error {
+	norm, err := doc.Normalized()
+	if err != nil {
+		return err
+	}
+	t.muts = append(t.muts, Mutation{Kind: "insert", Collection: collection, Doc: docToJSON(norm)})
+	return nil
+}
+
+func (t *remoteWriteTxn) Set(collection, id string, fields storage.Document) error {
+	norm, err := fields.Normalized()
+	if err != nil {
+		return err
+	}
+	t.muts = append(t.muts, Mutation{Kind: "set", Collection: collection, DocID: id, Doc: docToJSON(norm)})
+	return nil
+}
+
+func (t *remoteWriteTxn) Delete(collection, id string) error {
+	t.muts = append(t.muts, Mutation{Kind: "delete", Collection: collection, DocID: id})
+	return nil
+}
+
+// optimeFrom rebuilds an OpTime from its wire fields.
+func optimeFrom(secs int64, inc uint32) oplog.OpTime {
+	return oplog.OpTime{Secs: secs, Inc: inc}
+}

@@ -1,0 +1,298 @@
+// Package wire exposes a replica set over TCP with a length-prefixed
+// JSON protocol, and provides a network client that implements the
+// same driver.Conn interface as the in-process cluster — so
+// Decongestant's Read Balancer and Router run unchanged against a
+// remote deployment. Reads issue one round trip per operation; write
+// transactions buffer mutations client-side and commit them with a
+// single batch request, like a real driver's transaction API.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"decongestant/internal/storage"
+)
+
+// Op names of the protocol.
+const (
+	OpTopology   = "topology"
+	OpPing       = "ping"
+	OpStatus     = "status"
+	OpFindByID   = "find_by_id"
+	OpFindMany   = "find_many"
+	OpFind       = "find"
+	OpCount      = "count"
+	OpWriteBatch = "write_batch"
+)
+
+// MaxFrame bounds a single protocol frame (16 MiB).
+const MaxFrame = 16 << 20
+
+// Cond is the wire form of a filter condition.
+type Cond struct {
+	Op     string `json:"op"`
+	Value  any    `json:"value,omitempty"`
+	Values []any  `json:"values,omitempty"`
+}
+
+// Mutation is the wire form of one buffered write.
+type Mutation struct {
+	Kind       string         `json:"kind"` // insert | set | delete
+	Collection string         `json:"collection"`
+	DocID      string         `json:"doc_id,omitempty"`
+	Doc        map[string]any `json:"doc,omitempty"`
+}
+
+// Request is one client->server frame.
+type Request struct {
+	ID         uint64          `json:"id"`
+	Op         string          `json:"op"`
+	Node       int             `json:"node,omitempty"`
+	Collection string          `json:"collection,omitempty"`
+	DocID      string          `json:"doc_id,omitempty"`
+	IDs        []string        `json:"ids,omitempty"`
+	Filter     map[string]Cond `json:"filter,omitempty"`
+	Limit      int             `json:"limit,omitempty"`
+	Muts       []Mutation      `json:"muts,omitempty"`
+	// AfterSecs/AfterInc carry a causal prerequisite (afterClusterTime):
+	// read ops wait until the target node has applied this OpTime.
+	AfterSecs int64  `json:"after_secs,omitempty"`
+	AfterInc  uint32 `json:"after_inc,omitempty"`
+}
+
+// Member is the wire form of a serverStatus member row.
+type Member struct {
+	ID      int    `json:"id"`
+	Primary bool   `json:"primary"`
+	Secs    int64  `json:"secs"`
+	Inc     uint32 `json:"inc"`
+}
+
+// StatusBody is the wire form of a serverStatus response.
+type StatusBody struct {
+	From    int      `json:"from"`
+	Primary int      `json:"primary"`
+	Members []Member `json:"members"`
+}
+
+// Topology describes the replica set to clients.
+type Topology struct {
+	Primary int      `json:"primary"`
+	Zones   []string `json:"zones"` // indexed by node id
+}
+
+// Response is one server->client frame.
+type Response struct {
+	ID     uint64           `json:"id"`
+	Err    string           `json:"err,omitempty"`
+	Found  bool             `json:"found,omitempty"`
+	Doc    map[string]any   `json:"doc,omitempty"`
+	Docs   []map[string]any `json:"docs,omitempty"`
+	Count  int              `json:"count,omitempty"`
+	Topo   *Topology        `json:"topo,omitempty"`
+	Status *StatusBody      `json:"status,omitempty"`
+	// OpSecs/OpInc report the serving node's lastApplied OpTime for
+	// read ops and the commit OpTime for write batches, feeding the
+	// client session's causal token.
+	OpSecs int64  `json:"op_secs,omitempty"`
+	OpInc  uint32 `json:"op_inc,omitempty"`
+}
+
+// WriteFrame sends one JSON message with a 4-byte length prefix.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame receives one length-prefixed JSON message into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// EncodeFilter converts a storage.Filter to its wire form.
+func EncodeFilter(f storage.Filter) map[string]Cond {
+	if f == nil {
+		return nil
+	}
+	out := make(map[string]Cond, len(f))
+	for field, c := range f {
+		out[field] = Cond{Op: opName(c.Op), Value: c.Value, Values: c.Values}
+	}
+	return out
+}
+
+// DecodeFilter converts the wire form back to a storage.Filter.
+func DecodeFilter(m map[string]Cond) (storage.Filter, error) {
+	if m == nil {
+		return nil, nil
+	}
+	out := make(storage.Filter, len(m))
+	for field, c := range m {
+		op, err := opValue(c.Op)
+		if err != nil {
+			return nil, err
+		}
+		val, err := storage.Normalize(c.Value)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]any, len(c.Values))
+		for i, v := range c.Values {
+			if vals[i], err = storage.Normalize(v); err != nil {
+				return nil, err
+			}
+		}
+		if len(vals) == 0 {
+			vals = nil
+		}
+		out[field] = storage.Cond{Op: op, Value: val, Values: vals}
+	}
+	return out, nil
+}
+
+func opName(op storage.Op) string {
+	switch op {
+	case storage.OpEq:
+		return "eq"
+	case storage.OpNe:
+		return "ne"
+	case storage.OpGt:
+		return "gt"
+	case storage.OpGte:
+		return "gte"
+	case storage.OpLt:
+		return "lt"
+	case storage.OpLte:
+		return "lte"
+	case storage.OpIn:
+		return "in"
+	case storage.OpExists:
+		return "exists"
+	}
+	return "eq"
+}
+
+func opValue(name string) (storage.Op, error) {
+	switch name {
+	case "eq":
+		return storage.OpEq, nil
+	case "ne":
+		return storage.OpNe, nil
+	case "gt":
+		return storage.OpGt, nil
+	case "gte":
+		return storage.OpGte, nil
+	case "lt":
+		return storage.OpLt, nil
+	case "lte":
+		return storage.OpLte, nil
+	case "in":
+		return storage.OpIn, nil
+	case "exists":
+		return storage.OpExists, nil
+	}
+	return 0, fmt.Errorf("wire: unknown filter op %q", name)
+}
+
+// docToJSON converts a storage.Document to a JSON-safe map. BSON-lite
+// []byte values become base64 via encoding/json's default; nested
+// documents convert recursively.
+func docToJSON(d storage.Document) map[string]any {
+	if d == nil {
+		return nil
+	}
+	out := make(map[string]any, len(d))
+	for k, v := range d {
+		out[k] = valueToJSON(v)
+	}
+	return out
+}
+
+func valueToJSON(v any) any {
+	switch x := v.(type) {
+	case storage.Document:
+		return docToJSON(x)
+	case map[string]any:
+		return docToJSON(storage.Document(x))
+	case []any:
+		arr := make([]any, len(x))
+		for i, e := range x {
+			arr[i] = valueToJSON(e)
+		}
+		return arr
+	default:
+		return x
+	}
+}
+
+// jsonToDoc normalizes a decoded JSON map into a storage.Document.
+// JSON numbers arrive as float64; integral values are converted back
+// to int64 so ids and counters behave as expected.
+func jsonToDoc(m map[string]any) (storage.Document, error) {
+	if m == nil {
+		return nil, nil
+	}
+	out := make(storage.Document, len(m))
+	for k, v := range m {
+		nv, err := jsonValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("field %q: %w", k, err)
+		}
+		out[k] = nv
+	}
+	return out, nil
+}
+
+func jsonValue(v any) (any, error) {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x), nil
+		}
+		return x, nil
+	case map[string]any:
+		return jsonToDoc(x)
+	case []any:
+		arr := make([]any, len(x))
+		for i, e := range x {
+			ne, err := jsonValue(e)
+			if err != nil {
+				return nil, err
+			}
+			arr[i] = ne
+		}
+		return arr, nil
+	default:
+		return storage.Normalize(v)
+	}
+}

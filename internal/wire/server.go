@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// Server exposes a replica set (running on a real-time environment)
+// over TCP. Each connection handles requests serially; clients open
+// one connection per concurrent caller.
+type Server struct {
+	env *sim.RealtimeEnv
+	rs  *cluster.ReplicaSet
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  bool
+	log   *log.Logger
+}
+
+// NewServer creates a server over the given replica set. The replica
+// set must have been built on env.
+func NewServer(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{env: env, rs: rs, conns: map[net.Conn]struct{}{}, log: logger}
+}
+
+// Serve accepts connections on ln until Close. It returns after the
+// listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			done := s.done
+			s.mu.Unlock()
+			if done {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	proc := s.env.Adhoc("wire/conn-" + conn.RemoteAddr().String())
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("wire: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(proc, &req)
+		resp.ID = req.ID
+		if err := WriteFrame(conn, resp); err != nil {
+			s.log.Printf("wire: write to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// execRead runs a read op, honoring an afterClusterTime prerequisite
+// when the request carries one, and returns the node's applied OpTime.
+func (s *Server) execRead(p sim.Proc, req *Request, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
+	after := oplog.OpTime{Secs: req.AfterSecs, Inc: req.AfterInc}
+	return s.rs.ExecReadAfter(p, req.Node, after, fn)
+}
+
+func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
+	resp := &Response{}
+	fail := func(err error) *Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	if req.Node < 0 || req.Node >= len(s.rs.NodeIDs()) {
+		if req.Op != OpTopology && req.Op != OpWriteBatch {
+			return fail(fmt.Errorf("wire: bad node %d", req.Node))
+		}
+	}
+	switch req.Op {
+	case OpTopology:
+		topo := &Topology{Primary: s.rs.PrimaryID()}
+		for _, id := range s.rs.NodeIDs() {
+			topo.Zones = append(topo.Zones, s.rs.Zone(id))
+		}
+		resp.Topo = topo
+	case OpPing:
+		s.rs.Ping(p, req.Node)
+	case OpStatus:
+		st := s.rs.ServerStatus(p, req.Node)
+		body := &StatusBody{From: st.From, Primary: st.Primary}
+		for _, m := range st.Members {
+			body.Members = append(body.Members, Member{
+				ID: m.ID, Primary: m.Primary, Secs: m.Applied.Secs, Inc: m.Applied.Inc,
+			})
+		}
+		resp.Status = body
+	case OpFindByID:
+		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+			d, ok := v.FindByID(req.Collection, req.DocID)
+			if !ok {
+				return nil, nil
+			}
+			return d, nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		if d, ok := res.(storage.Document); ok && d != nil {
+			resp.Found = true
+			resp.Doc = docToJSON(d)
+		}
+	case OpFindMany:
+		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+			return v.FindManyByID(req.Collection, req.IDs), nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		for _, d := range res.([]storage.Document) {
+			resp.Docs = append(resp.Docs, docToJSON(d))
+		}
+	case OpFind:
+		filter, err := DecodeFilter(req.Filter)
+		if err != nil {
+			return fail(err)
+		}
+		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+			return v.Find(req.Collection, filter, req.Limit), nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		for _, d := range res.([]storage.Document) {
+			resp.Docs = append(resp.Docs, docToJSON(d))
+		}
+	case OpCount:
+		filter, err := DecodeFilter(req.Filter)
+		if err != nil {
+			return fail(err)
+		}
+		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+			return v.Count(req.Collection, filter), nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		resp.Count = res.(int)
+	case OpWriteBatch:
+		_, commitTS, err := s.rs.ExecWriteTracked(p, func(tx cluster.WriteTxn) (any, error) {
+			for _, m := range req.Muts {
+				doc, derr := jsonToDoc(m.Doc)
+				if derr != nil {
+					return nil, derr
+				}
+				switch m.Kind {
+				case "insert":
+					if derr := tx.Insert(m.Collection, doc); derr != nil {
+						return nil, derr
+					}
+				case "set":
+					if derr := tx.Set(m.Collection, m.DocID, doc); derr != nil {
+						return nil, derr
+					}
+				case "delete":
+					if derr := tx.Delete(m.Collection, m.DocID); derr != nil {
+						return nil, derr
+					}
+				default:
+					return nil, fmt.Errorf("wire: unknown mutation kind %q", m.Kind)
+				}
+			}
+			return nil, nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = commitTS.Secs, commitTS.Inc
+	default:
+		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+	return resp
+}

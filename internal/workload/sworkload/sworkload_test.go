@@ -1,0 +1,106 @@
+package sworkload
+
+import (
+	"testing"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/driver"
+	"decongestant/internal/sim"
+)
+
+func setup(seed int64, mutate func(*cluster.Config)) (*sim.VirtualEnv, *cluster.ReplicaSet, *driver.Client) {
+	env := sim.NewEnv(seed)
+	cfg := cluster.DefaultConfig()
+	cfg.ReplIdlePoll = 10 * time.Millisecond
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rs := cluster.New(env, cfg)
+	cl := driver.NewClient(env, driver.WrapCluster(rs))
+	return env, rs, cl
+}
+
+func TestHealthyClusterSeesNearZeroStaleness(t *testing.T) {
+	env, _, cl := setup(1, nil)
+	defer env.Shutdown()
+	s := New(env, cl, Options{})
+	s.Start()
+	env.Run(30 * time.Second)
+	if s.Writes() == 0 {
+		t.Fatal("writer made no writes")
+	}
+	samples := s.Samples()
+	if len(samples) < 50 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	if p80 := s.StalenessPercentile(0.80, 5*time.Second); p80 > time.Second {
+		t.Fatalf("P80 staleness %v on a healthy cluster", p80)
+	}
+}
+
+func TestStalledReplicationIsVisibleToSWorkload(t *testing.T) {
+	env, _, cl := setup(2, func(cfg *cluster.Config) {
+		// Long checkpoints stall getMore: staleness must appear.
+		cfg.CheckpointInterval = 5 * time.Second
+		cfg.CheckpointMinDuration = 4 * time.Second
+		cfg.CheckpointPerMB = 0
+		cfg.CheckpointMaxDuration = 4 * time.Second
+	})
+	defer env.Shutdown()
+	s := New(env, cl, Options{})
+	s.Start()
+	env.Run(20 * time.Second)
+	if maxS := s.MaxStaleness(0); maxS < 2*time.Second {
+		t.Fatalf("max observed staleness %v; checkpoint stall invisible", maxS)
+	}
+}
+
+func TestProbeSecondaryHookRedirectsToPrimary(t *testing.T) {
+	env, _, cl := setup(3, func(cfg *cluster.Config) {
+		cfg.ReplIdlePoll = 10 * time.Second // replication effectively frozen
+	})
+	defer env.Shutdown()
+	s := New(env, cl, Options{ProbeSecondary: func() bool { return false }})
+	s.Start()
+	env.Run(10 * time.Second)
+	for _, smp := range s.Samples() {
+		if smp.UsedSecondary {
+			t.Fatal("probe used the secondary despite the hook")
+		}
+		if smp.Staleness != 0 {
+			t.Fatalf("primary-only probe reported staleness %v", smp.Staleness)
+		}
+	}
+	if len(s.Samples()) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestFrozenSecondaryShowsGrowingStaleness(t *testing.T) {
+	env, rs, cl := setup(4, func(cfg *cluster.Config) {
+		cfg.ReplIdlePoll = 10 * time.Second
+	})
+	defer env.Shutdown()
+	// Mark both secondaries' replication as effectively stopped via the
+	// idle poll; writes keep advancing the primary.
+	_ = rs
+	s := New(env, cl, Options{WriterInterval: 20 * time.Millisecond})
+	s.Start()
+	env.Run(8 * time.Second)
+	samples := s.Samples()
+	if len(samples) < 10 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.Staleness < 3*time.Second {
+		t.Fatalf("staleness %v at t=%v; expected growth with frozen replication", last.Staleness, last.At)
+	}
+	// Staleness should grow roughly with elapsed time.
+	mid := samples[len(samples)/2]
+	if last.Staleness <= mid.Staleness {
+		t.Fatalf("staleness not growing: %v then %v", mid.Staleness, last.Staleness)
+	}
+}

@@ -1,0 +1,288 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/driver"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+	"decongestant/internal/workload"
+)
+
+// Transaction kind names reported to the Observer.
+const (
+	KindNewOrder    = "NewOrder"
+	KindPayment     = "Payment"
+	KindOrderStatus = "OrderStatus"
+	KindDelivery    = "Delivery"
+	KindStockLevel  = "StockLevel"
+)
+
+// errRollback models TPC-C's intentional 1% NewOrder aborts (invalid
+// item id); the cluster discards the transaction's buffered writes.
+var errRollback = errors.New("tpcc: intentional rollback (invalid item)")
+
+// NewOrder places an order: it reads the district and the ordered
+// items' stock, updates stock quantities and the district's next
+// order id, and inserts the order (with embedded lines) plus its
+// new_orders queue entry. 1% of executions abort intentionally.
+func NewOrder(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (time.Duration, error) {
+	w := 1 + rng.Intn(sc.Warehouses)
+	d := 1 + rng.Intn(sc.DistrictsPerWH)
+	c := 1 + rng.Intn(sc.CustomersPerDistrict)
+	nItems := 5 + rng.Intn(11)
+	itemIDs := make([]int, nItems)
+	quantities := make([]int, nItems)
+	for i := range itemIDs {
+		itemIDs[i] = 1 + rng.Intn(sc.Items)
+		quantities[i] = 1 + rng.Intn(10)
+	}
+	rollback := rng.Intn(100) == 0
+	now := int64(p.Now())
+
+	_, lat, err := exec.Write(p, func(tx cluster.WriteTxn) (any, error) {
+		district, ok := tx.FindByIDShared(CollDistrict, DistrictID(w, d))
+		if !ok {
+			return nil, errors.New("tpcc: district missing")
+		}
+		oID := int(district.Int("next_o_id"))
+		if err := tx.Set(CollDistrict, DistrictID(w, d), storage.D{"next_o_id": oID + 1}); err != nil {
+			return nil, err
+		}
+		lines := make([]any, 0, nItems)
+		total := 0.0
+		for i, itemID := range itemIDs {
+			item, ok := tx.FindByIDShared(CollItem, ItemID(itemID))
+			if !ok {
+				return nil, errRollback
+			}
+			stockDoc, ok := tx.FindByIDShared(CollStock, StockID(w, itemID))
+			if !ok {
+				return nil, errors.New("tpcc: stock missing")
+			}
+			qty := int(stockDoc.Int("quantity"))
+			olQty := quantities[i]
+			if qty >= olQty+10 {
+				qty -= olQty
+			} else {
+				qty = qty - olQty + 91
+			}
+			if err := tx.Set(CollStock, StockID(w, itemID), storage.D{
+				"quantity":  qty,
+				"ytd":       stockDoc.Int("ytd") + int64(olQty),
+				"order_cnt": stockDoc.Int("order_cnt") + 1,
+			}); err != nil {
+				return nil, err
+			}
+			amount := float64(olQty) * item.Float("price")
+			total += amount
+			lines = append(lines, storage.D{
+				"i_id":       itemID,
+				"supply_w":   w,
+				"qty":        olQty,
+				"amount":     amount,
+				"delivery_d": int64(0),
+			})
+		}
+		if rollback {
+			return nil, errRollback
+		}
+		if err := tx.Insert(CollOrders, storage.D{
+			"_id":         OrderID(w, d, oID),
+			"w_id":        w,
+			"d_id":        d,
+			"o_id":        oID,
+			"c_id":        c,
+			"entry_d":     now,
+			"carrier_id":  0,
+			"ol_cnt":      nItems,
+			"order_lines": lines,
+			"total":       total,
+		}); err != nil {
+			return nil, err
+		}
+		return nil, tx.Insert(CollNewOrders, storage.D{
+			"_id": NewOrderID(w, d, oID), "w_id": w, "d_id": d, "o_id": oID,
+		})
+	})
+	if errors.Is(err, errRollback) {
+		return lat, nil // counted as a completed (aborted) transaction
+	}
+	return lat, err
+}
+
+// Payment records a customer payment against the warehouse, district
+// and customer year-to-date totals and appends a history document.
+// (Customers are selected by id; the 60%-by-last-name variant of the
+// standard is not modeled.)
+func Payment(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (time.Duration, error) {
+	w := 1 + rng.Intn(sc.Warehouses)
+	d := 1 + rng.Intn(sc.DistrictsPerWH)
+	c := 1 + rng.Intn(sc.CustomersPerDistrict)
+	amount := 1 + rng.Float64()*4999
+	now := int64(p.Now())
+	histID := fmt.Sprintf("h_%d_%d_%d_%s", w, d, c, workload.RandString(rng, 10))
+
+	_, lat, err := exec.Write(p, func(tx cluster.WriteTxn) (any, error) {
+		wh, ok := tx.FindByIDShared(CollWarehouse, WarehouseID(w))
+		if !ok {
+			return nil, errors.New("tpcc: warehouse missing")
+		}
+		if err := tx.Set(CollWarehouse, WarehouseID(w), storage.D{"ytd": wh.Float("ytd") + amount}); err != nil {
+			return nil, err
+		}
+		dist, ok := tx.FindByIDShared(CollDistrict, DistrictID(w, d))
+		if !ok {
+			return nil, errors.New("tpcc: district missing")
+		}
+		if err := tx.Set(CollDistrict, DistrictID(w, d), storage.D{"ytd": dist.Float("ytd") + amount}); err != nil {
+			return nil, err
+		}
+		cust, ok := tx.FindByIDShared(CollCustomer, CustomerID(w, d, c))
+		if !ok {
+			return nil, errors.New("tpcc: customer missing")
+		}
+		if err := tx.Set(CollCustomer, CustomerID(w, d, c), storage.D{
+			"balance":     cust.Float("balance") - amount,
+			"ytd_payment": cust.Float("ytd_payment") + amount,
+			"payment_cnt": cust.Int("payment_cnt") + 1,
+		}); err != nil {
+			return nil, err
+		}
+		return nil, tx.Insert(CollHistory, storage.D{
+			"_id": histID, "w_id": w, "d_id": d, "c_id": c,
+			"amount": amount, "date": now,
+		})
+	})
+	return lat, err
+}
+
+// OrderStatus reads a customer's most recent order and its embedded
+// lines. Read-only.
+func OrderStatus(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (driver.ReadPref, time.Duration, error) {
+	w := 1 + rng.Intn(sc.Warehouses)
+	d := 1 + rng.Intn(sc.DistrictsPerWH)
+	c := 1 + rng.Intn(sc.CustomersPerDistrict)
+
+	_, pref, lat, err := exec.Read(p, func(v cluster.ReadView) (any, error) {
+		cust, ok := v.FindByIDShared(CollCustomer, CustomerID(w, d, c))
+		if !ok {
+			return nil, errors.New("tpcc: customer missing")
+		}
+		orders := v.FindShared(CollOrders, storage.Filter{
+			"w_id": storage.Eq(w), "d_id": storage.Eq(d), "c_id": storage.Eq(c),
+		}, 0)
+		if len(orders) == 0 {
+			return storage.D{"customer": cust}, nil
+		}
+		last := orders[len(orders)-1] // index scan is o_id-ascending
+		return storage.D{"customer": cust, "order": last}, nil
+	})
+	return pref, lat, err
+}
+
+// Delivery processes the oldest undelivered order in each district of
+// one warehouse: it removes the new_orders entry, stamps the order
+// with a carrier and delivery date, and credits the customer.
+func Delivery(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (time.Duration, error) {
+	w := 1 + rng.Intn(sc.Warehouses)
+	carrier := 1 + rng.Intn(10)
+	now := int64(p.Now())
+
+	_, lat, err := exec.Write(p, func(tx cluster.WriteTxn) (any, error) {
+		for d := 1; d <= sc.DistrictsPerWH; d++ {
+			pending := tx.Find(CollNewOrders, storage.Filter{
+				"w_id": storage.Eq(w), "d_id": storage.Eq(d),
+			}, 1)
+			if len(pending) == 0 {
+				continue
+			}
+			oID := int(pending[0].Int("o_id"))
+			if err := tx.Delete(CollNewOrders, NewOrderID(w, d, oID)); err != nil {
+				return nil, err
+			}
+			order, ok := tx.FindByID(CollOrders, OrderID(w, d, oID))
+			if !ok {
+				continue
+			}
+			total := 0.0
+			lines := order.Array("order_lines")
+			for _, l := range lines {
+				ld, _ := l.(storage.Document)
+				total += ld.Float("amount")
+				ld["delivery_d"] = now
+			}
+			if err := tx.Set(CollOrders, OrderID(w, d, oID), storage.D{
+				"carrier_id":  carrier,
+				"order_lines": lines,
+			}); err != nil {
+				return nil, err
+			}
+			cID := int(order.Int("c_id"))
+			cust, ok := tx.FindByID(CollCustomer, CustomerID(w, d, cID))
+			if !ok {
+				continue
+			}
+			if err := tx.Set(CollCustomer, CustomerID(w, d, cID), storage.D{
+				"balance":      cust.Float("balance") + total,
+				"delivery_cnt": cust.Int("delivery_cnt") + 1,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	return lat, err
+}
+
+// StockLevel counts, for one district, how many recently ordered items
+// have stock below a threshold: district next_o_id, the last 20
+// orders' embedded lines, then a batched stock fetch. Read-only — the
+// transaction whose throughput and latency the paper's TPC-C figures
+// report.
+func StockLevel(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (driver.ReadPref, time.Duration, error) {
+	w := 1 + rng.Intn(sc.Warehouses)
+	d := 1 + rng.Intn(sc.DistrictsPerWH)
+	threshold := 10 + rng.Intn(11)
+
+	_, pref, lat, err := exec.Read(p, func(v cluster.ReadView) (any, error) {
+		dist, ok := v.FindByIDShared(CollDistrict, DistrictID(w, d))
+		if !ok {
+			return nil, errors.New("tpcc: district missing")
+		}
+		next := int(dist.Int("next_o_id"))
+		lo := next - 20
+		if lo < 1 {
+			lo = 1
+		}
+		// Shared (no-copy) reads: this transaction only inspects.
+		orders := v.FindShared(CollOrders, storage.Filter{
+			"w_id": storage.Eq(w), "d_id": storage.Eq(d),
+			"o_id": storage.Gte(lo),
+		}, 0)
+		seen := map[int]bool{}
+		var stockIDs []string
+		for _, o := range orders {
+			for _, l := range o.Array("order_lines") {
+				ld, _ := l.(storage.Document)
+				i := int(ld.Int("i_id"))
+				if i != 0 && !seen[i] {
+					seen[i] = true
+					stockIDs = append(stockIDs, StockID(w, i))
+				}
+			}
+		}
+		low := 0
+		for _, s := range v.FindManyByIDShared(CollStock, stockIDs) {
+			if int(s.Int("quantity")) < threshold {
+				low++
+			}
+		}
+		return low, nil
+	})
+	return pref, lat, err
+}
