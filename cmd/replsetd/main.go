@@ -27,6 +27,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "environment seed")
 	readCost := flag.Duration("read-cost", 500*time.Microsecond, "service time per read unit")
 	writeCost := flag.Duration("write-cost", time.Millisecond, "service time per write op")
+	metricsEvery := flag.Duration("metrics-interval", 0,
+		"log the observability snapshot at this interval (0 disables; it is always logged on shutdown)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "replsetd: ", log.LstdFlags)
@@ -44,12 +46,21 @@ func main() {
 	}
 	logger.Printf("serving %d-node replica set on %s (primary: node %d)",
 		*nodes, ln.Addr(), rs.PrimaryID())
+	logger.Printf("metrics available over the wire protocol's %q op", wire.OpMetrics)
+
+	if *metricsEvery > 0 {
+		go func() {
+			for range time.Tick(*metricsEvery) {
+				logger.Printf("metrics snapshot:\n%s", rs.Metrics().Snapshot().Text())
+			}
+		}()
+	}
 
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		logger.Printf("shutting down")
+		logger.Printf("shutting down; final metrics snapshot:\n%s", rs.Metrics().Snapshot().Text())
 		srv.Close()
 		env.Shutdown()
 	}()

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"decongestant/internal/obs"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
@@ -464,4 +465,87 @@ func TestStatusMaxSecondaryStaleness(t *testing.T) {
 
 func optime(secs int64) oplog.OpTime {
 	return oplog.OpTime{Secs: secs, Inc: 1}
+}
+
+// TestDownNodeProbesAreInvalid: pinging or polling a down node must
+// not produce plausible-looking samples — the Read Balancer and the
+// driver monitor rely on this to skip, not misfile, them.
+func TestDownNodeProbesAreInvalid(t *testing.T) {
+	env := sim.NewEnv(11)
+	defer env.Shutdown()
+	rs := New(env, fastConfig())
+	secID := rs.SecondaryIDs()[0]
+	env.Spawn("prober", func(p sim.Proc) {
+		if st := rs.ServerStatus(p, secID); !st.OK() {
+			t.Error("status from a live node reported not OK")
+		}
+		if rtt := rs.Ping(p, secID); rtt <= 0 {
+			t.Errorf("ping of live node returned %v", rtt)
+		}
+		rs.SetDown(secID, true)
+		if st := rs.ServerStatus(p, secID); st.OK() {
+			t.Error("status from a down node reported OK")
+		}
+		if rtt := rs.Ping(p, secID); rtt >= 0 {
+			t.Errorf("ping of down node returned %v, want negative", rtt)
+		}
+		rs.SetDown(secID, false)
+		if st := rs.ServerStatus(p, secID); !st.OK() {
+			t.Error("status stayed invalid after the node came back")
+		}
+	})
+	env.Run(5 * time.Second)
+}
+
+// TestNodeInstrumentsPopulate: the registry mirrors node activity —
+// reads, writes, queue wait, checkpoints and oplog lag all register.
+func TestNodeInstrumentsPopulate(t *testing.T) {
+	env := sim.NewEnv(12)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.CheckpointInterval = 500 * time.Millisecond
+	cfg.CheckpointMinDuration = 10 * time.Millisecond
+	rs := New(env, cfg)
+	env.Spawn("load", func(p sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if _, err := rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+				return nil, tx.Insert("kv", storage.D{"_id": fmt.Sprintf("k%d", i), "v": i})
+			}); err != nil {
+				t.Error(err)
+			}
+			if _, err := rs.ExecRead(p, rs.PrimaryID(), func(v ReadView) (any, error) {
+				v.FindByID("kv", "k0")
+				return nil, nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	env.Run(5 * time.Second)
+	snap := rs.Metrics().Snapshot()
+	prim := fmt.Sprintf("%d", rs.PrimaryID())
+	if got := snap.CounterValue(obs.Name("cluster.reads", "node", prim)); got != 20 {
+		t.Errorf("cluster.reads = %d, want 20", got)
+	}
+	if got := snap.CounterValue(obs.Name("cluster.writes", "node", prim)); got != 20 {
+		t.Errorf("cluster.writes = %d, want 20", got)
+	}
+	if got := snap.CounterValue(obs.Name("cluster.checkpoints", "node", prim)); got == 0 {
+		t.Error("no checkpoints counted despite dirty writes")
+	}
+	in, ok := snap.Get(obs.Name("cluster.checkpoint_duration", "node", prim))
+	if !ok || in.Hist == nil || in.Hist.Count == 0 {
+		t.Error("checkpoint duration histogram empty")
+	}
+	in, ok = snap.Get(obs.Name("cluster.getmore_latency", "node", prim))
+	if !ok || in.Hist == nil || in.Hist.Count == 0 {
+		t.Error("getMore latency histogram empty at the primary")
+	}
+	in, ok = snap.Get(obs.Name("cluster.cpu_queue_wait", "node", prim))
+	if !ok || in.Hist == nil || in.Hist.Count == 0 {
+		t.Error("queue wait histogram empty")
+	}
+	if _, ok := snap.Get(obs.Name("cluster.oplog_lag_secs", "node", "1")); !ok {
+		t.Error("oplog lag gauge missing for secondary")
+	}
 }

@@ -3,9 +3,11 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
+	"decongestant/internal/obs"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
@@ -45,6 +47,17 @@ type Node struct {
 	down          bool
 
 	stats NodeStats
+
+	// Registry instruments, labeled with this node's id. Counters and
+	// gauges are atomic; the histograms carry their own mutex — none
+	// of these require n.mu.
+	obsReads     *obs.Counter
+	obsWrites    *obs.Counter
+	obsQueueWait *obs.Histogram // time spent waiting for a CPU slot
+	obsGetMore   *obs.Histogram // getMore service latency (primary side)
+	obsCkpts     *obs.Counter
+	obsCkptDur   *obs.Histogram
+	obsOplogLag  *obs.Gauge // seconds behind the primary (secondary side)
 }
 
 // NodeStats counts the operations a node has serviced.
@@ -73,6 +86,15 @@ func newNode(rs *ReplicaSet, id int, zone string) *Node {
 		known:     make([]oplog.OpTime, rs.cfg.Nodes),
 		fetchPos:  make([]oplog.OpTime, rs.cfg.Nodes),
 	}
+	node := strconv.Itoa(id)
+	reg := rs.metrics
+	n.obsReads = reg.Counter(obs.Name("cluster.reads", "node", node))
+	n.obsWrites = reg.Counter(obs.Name("cluster.writes", "node", node))
+	n.obsQueueWait = reg.Histogram(obs.Name("cluster.cpu_queue_wait", "node", node))
+	n.obsGetMore = reg.Histogram(obs.Name("cluster.getmore_latency", "node", node))
+	n.obsCkpts = reg.Counter(obs.Name("cluster.checkpoints", "node", node))
+	n.obsCkptDur = reg.Histogram(obs.Name("cluster.checkpoint_duration", "node", node))
+	n.obsOplogLag = reg.Gauge(obs.Name("cluster.oplog_lag_secs", "node", node))
 	return n
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"decongestant/internal/obs"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
@@ -14,10 +15,11 @@ import (
 // connected by the zone network model, with background replication,
 // heartbeat, checkpoint and noop-writer processes.
 type ReplicaSet struct {
-	env   sim.Env
-	cfg   Config
-	net   *Network
-	nodes []*Node
+	env     sim.Env
+	cfg     Config
+	net     *Network
+	nodes   []*Node
+	metrics *obs.Registry
 
 	mu        sync.Mutex
 	primaryID int
@@ -27,7 +29,7 @@ type ReplicaSet struct {
 // defaults. Node 0 starts as primary.
 func New(env sim.Env, cfg Config) *ReplicaSet {
 	cfg = cfg.withDefaults()
-	rs := &ReplicaSet{env: env, cfg: cfg, net: newNetwork(env, cfg)}
+	rs := &ReplicaSet{env: env, cfg: cfg, net: newNetwork(env, cfg), metrics: obs.NewRegistry()}
 	for i := 0; i < cfg.Nodes; i++ {
 		zone := cfg.Zones[i%len(cfg.Zones)]
 		rs.nodes = append(rs.nodes, newNode(rs, i, zone))
@@ -35,6 +37,12 @@ func New(env sim.Env, cfg Config) *ReplicaSet {
 	rs.startBackground()
 	return rs
 }
+
+// Metrics returns the replica set's observability registry. The
+// driver and Read Balancer running in the same process register their
+// instruments here too (via driver.NewClient's MetricsProvider
+// detection), so one snapshot covers the whole stack.
+func (rs *ReplicaSet) Metrics() *obs.Registry { return rs.metrics }
 
 // Config returns the effective configuration.
 func (rs *ReplicaSet) Config() Config { return rs.cfg }
@@ -133,8 +141,11 @@ func (n *Node) execRead(p sim.Proc, fn func(v ReadView) (any, error)) (any, erro
 	if n.Down() {
 		return nil, ErrNodeDown
 	}
+	qstart := p.Now()
 	n.cpu.Acquire(p)
 	defer n.cpu.Release()
+	n.obsQueueWait.Observe(p.Now() - qstart)
+	n.obsReads.Inc(1)
 	v := &localReadView{node: n}
 	n.mu.Lock()
 	res, err := fn(v)
@@ -172,8 +183,11 @@ func (n *Node) execWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, er
 			p.Sleep(n.rs.cfg.FlowControlDelay)
 		}
 	}
+	qstart := p.Now()
 	n.cpu.Acquire(p)
 	defer n.cpu.Release()
+	n.obsQueueWait.Observe(p.Now() - qstart)
+	n.obsWrites.Inc(1)
 	tx := &localWriteTxn{localReadView: localReadView{node: n}}
 	n.mu.Lock()
 	res, err := fn(tx)
@@ -215,10 +229,15 @@ func (n *Node) knownMaxLagSecs() int64 {
 }
 
 // Ping measures one round trip to the node without touching its CPU —
-// the Read Balancer's RTT probe.
+// the Read Balancer's RTT probe. Pinging a down node still spends the
+// round trip (the probe times out in flight) but returns -1 so the
+// caller can skip the sample instead of filing a bogus RTT.
 func (rs *ReplicaSet) Ping(p sim.Proc, nodeID int) time.Duration {
 	start := p.Now()
 	rs.net.RoundTrip(p, rs.cfg.ClientZone, rs.nodes[nodeID].Zone)
+	if rs.nodes[nodeID].Down() {
+		return -1
+	}
 	return p.Now() - start
 }
 
@@ -238,6 +257,12 @@ type Status struct {
 	Primary int
 	Members []MemberStatus
 }
+
+// OK reports whether the status actually came back from a live node.
+// A down or unreachable node yields a member-less Status (the wire
+// client produces the same shape on a network error), which callers
+// must skip rather than interpret as zero staleness.
+func (st Status) OK() bool { return len(st.Members) > 0 }
 
 // StalenessSecs returns the apparent staleness of member id: the
 // primary's applied optime minus the member's, in whole seconds.
@@ -270,10 +295,16 @@ func (st Status) MaxSecondaryStalenessSecs() int64 {
 }
 
 // ServerStatus issues the serverStatus command at the chosen node and
-// returns its view of every member's replication progress.
+// returns its view of every member's replication progress. A down
+// node spends the network round trip but returns a member-less Status
+// (check Status.OK), never stale garbage.
 func (rs *ReplicaSet) ServerStatus(p sim.Proc, nodeID int) Status {
 	n := rs.nodes[nodeID]
 	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
+	if n.Down() {
+		rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
+		return Status{From: n.ID}
+	}
 	n.cpu.Acquire(p)
 	p.Sleep(n.jitterCost(rs.cfg.StatusCost))
 	st := n.statusSnapshot()

@@ -50,6 +50,7 @@ func (n *Node) pullerLoop(p sim.Proc) {
 		rs.net.Travel(p, n.Zone, prim.Zone)
 		batch := prim.serveGetMore(p, n.ID, after)
 		rs.net.Travel(p, prim.Zone, n.Zone)
+		n.obsOplogLag.Set(prim.OplogLast().LagSeconds(n.LastApplied()))
 		if len(batch) == 0 {
 			p.Sleep(rs.cfg.ReplIdlePoll)
 			continue
@@ -114,10 +115,14 @@ func (n *Node) pullerLoop(p sim.Proc) {
 // with client operations, so a congested primary delivers the oplog
 // late.
 func (n *Node) serveGetMore(p sim.Proc, from int, after oplog.OpTime) []oplog.Entry {
+	start := p.Now()
+	defer func() { n.obsGetMore.Observe(p.Now() - start) }()
 	for n.Checkpointing() {
 		n.ckptGate.Wait(p)
 	}
-	n.cpu.Use(p, n.jitterCost(n.rs.cfg.GetMoreCost))
+	cost := n.jitterCost(n.rs.cfg.GetMoreCost)
+	total := n.cpu.Use(p, cost)
+	n.obsQueueWait.Observe(total - cost)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats.GetMores++
@@ -200,10 +205,12 @@ func (n *Node) checkpointLoop(p sim.Proc) {
 		n.checkpointing = true
 		n.stats.Checkpoints++
 		n.mu.Unlock()
+		n.obsCkpts.Inc(1)
 		p.Sleep(dur)
 		n.mu.Lock()
 		n.checkpointing = false
 		n.mu.Unlock()
+		n.obsCkptDur.Observe(dur)
 		n.ckptGate.Broadcast()
 	}
 }

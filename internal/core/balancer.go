@@ -18,6 +18,7 @@ import (
 
 	"decongestant/internal/driver"
 	"decongestant/internal/metrics"
+	"decongestant/internal/obs"
 	"decongestant/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type Params struct {
 	StalenessPoll time.Duration
 	// RTTPing is how often every node is pinged for RTT samples (1 s).
 	RTTPing time.Duration
+	// DecisionCap bounds the retained decision trace: only the most
+	// recent DecisionCap period-end decisions are kept (512). Values
+	// <= 0 take the default.
+	DecisionCap int
 
 	// Ablation switches (all false in the paper's system).
 
@@ -79,6 +84,7 @@ func DefaultParams() Params {
 		StaleBound:    10,
 		StalenessPoll: time.Second,
 		RTTPing:       time.Second,
+		DecisionCap:   512,
 	}
 }
 
@@ -111,15 +117,35 @@ func (p Params) withDefaults() Params {
 	if p.RTTPing == 0 {
 		p.RTTPing = d.RTTPing
 	}
+	if p.DecisionCap <= 0 {
+		p.DecisionCap = d.DecisionCap
+	}
 	return p
 }
+
+// Reason codes for one period-end decision — the structured trace the
+// registry counts and Decisions exposes.
+const (
+	// ReasonIncrease: primary congested (ratio > HighRatio), fraction up.
+	ReasonIncrease = "increase"
+	// ReasonDecrease: secondaries congested (ratio < LowRatio), fraction down.
+	ReasonDecrease = "decrease"
+	// ReasonExplore: stable for RecentLen periods, probing downward.
+	ReasonExplore = "explore"
+	// ReasonHold: ratio in the dead band, or no samples this period.
+	ReasonHold = "hold"
+	// ReasonGated: the staleness gate forced the published fraction to
+	// zero, regardless of what the controller computed.
+	ReasonGated = "gated"
+)
 
 // Decision records one period-end outcome, for tests and plots.
 type Decision struct {
 	At        time.Duration
 	Ratio     float64 // 0 when not computable this period
 	NewBalPct int
-	Published int // percent actually published, after the staleness gate
+	Published int    // percent actually published, after the staleness gate
+	Reason    string // one of the Reason constants
 	Gated     bool
 }
 
@@ -132,6 +158,70 @@ type Stats struct {
 	Holds        int
 	GateTrips    int // transitions into the gated state
 	StatusPolls  int
+	StatusSkips  int // serverStatus polls skipped (primary down / invalid)
+	RTTSkips     int // RTT pings skipped (target down / failed probe)
+}
+
+// decisionRing is a fixed-capacity ring of the most recent decisions,
+// replacing the previous unbounded slice that grew forever on long
+// runs.
+type decisionRing struct {
+	buf  []Decision
+	next int
+	n    int
+}
+
+func newDecisionRing(capacity int) *decisionRing {
+	return &decisionRing{buf: make([]Decision, capacity)}
+}
+
+func (r *decisionRing) add(d Decision) {
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// list returns the retained decisions, oldest first.
+func (r *decisionRing) list() []Decision {
+	out := make([]Decision, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// maxRoleSamples bounds each of the shared per-role latency and RTT
+// lists within one period. Once full, the newest sample overwrites
+// the oldest, so a stalled period loop can no longer grow the lists
+// without bound and the median reflects the freshest samples.
+const maxRoleSamples = 8192
+
+// sampleBuf is a fixed-capacity duration buffer with ring overwrite.
+type sampleBuf struct {
+	buf  []time.Duration
+	next int // overwrite cursor, used once len(buf) == cap(buf)
+}
+
+func (s *sampleBuf) add(v time.Duration) {
+	if len(s.buf) < maxRoleSamples {
+		s.buf = append(s.buf, v)
+		return
+	}
+	s.buf[s.next] = v
+	s.next = (s.next + 1) % maxRoleSamples
+}
+
+// take returns the buffered samples and resets the buffer.
+func (s *sampleBuf) take() []time.Duration {
+	out := s.buf
+	s.buf, s.next = nil, 0
+	return out
 }
 
 // Balancer is the Read Balancer: one per client system, shared by all
@@ -144,16 +234,25 @@ type Balancer struct {
 	mu           sync.Mutex
 	balPct       int   // published Balance Fraction, in percent
 	recent       []int // last RecentLen decisions in percent (ungated)
-	latPrimary   []time.Duration
-	latSecondary []time.Duration
-	rttPrimary   []time.Duration
-	rttSecondary []time.Duration
+	latPrimary   sampleBuf
+	latSecondary sampleBuf
+	rttPrimary   sampleBuf
+	rttSecondary sampleBuf
 	maxStale     int64
 	gated        bool
 	stats        Stats
-	decisions    []Decision
+	decisions    *decisionRing
 	ewmaPrimary  time.Duration // smoothed client-observed latency per role,
 	ewmaSecond   time.Duration // fed by Record; used by the SLA router
+
+	// Registry instruments (atomic/self-locking; touched without b.mu).
+	obsReasons   map[string]*obs.Counter
+	obsFraction  *obs.Gauge
+	obsStaleness *obs.Gauge
+	obsGateTrips *obs.Counter
+	obsPolls     *obs.Counter
+	obsPollSkips *obs.Counter
+	obsRTTSkips  *obs.Counter
 }
 
 // NewBalancer creates a Read Balancer over the given client session.
@@ -161,6 +260,7 @@ type Balancer struct {
 func NewBalancer(env sim.Env, client *driver.Client, params Params) *Balancer {
 	params = params.withDefaults()
 	b := &Balancer{env: env, client: client, params: params}
+	b.decisions = newDecisionRing(params.DecisionCap)
 	b.balPct = params.LowBalPct
 	b.recent = make([]int, params.RecentLen)
 	for i := range b.recent {
@@ -171,6 +271,18 @@ func NewBalancer(env sim.Env, client *driver.Client, params Params) *Balancer {
 		b.gated = true
 		b.balPct = 0
 	}
+	reg := client.Metrics()
+	b.obsReasons = make(map[string]*obs.Counter)
+	for _, reason := range []string{ReasonIncrease, ReasonDecrease, ReasonExplore, ReasonHold, ReasonGated} {
+		b.obsReasons[reason] = reg.Counter(obs.Name("balancer.decisions", "reason", reason))
+	}
+	b.obsFraction = reg.Gauge("balancer.fraction_pct")
+	b.obsStaleness = reg.Gauge("balancer.max_staleness_secs")
+	b.obsGateTrips = reg.Counter("balancer.gate_trips")
+	b.obsPolls = reg.Counter("balancer.status_polls")
+	b.obsPollSkips = reg.Counter("balancer.status_skips")
+	b.obsRTTSkips = reg.Counter("balancer.rtt_skips")
+	b.obsFraction.Set(int64(b.balPct))
 	return b
 }
 
@@ -220,11 +332,12 @@ func (b *Balancer) Stats() Stats {
 	return b.stats
 }
 
-// Decisions returns the period-end decision history.
+// Decisions returns the retained period-end decision trace, oldest
+// first — at most Params.DecisionCap entries.
 func (b *Balancer) Decisions() []Decision {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return append([]Decision(nil), b.decisions...)
+	return b.decisions.list()
 }
 
 // Record reports one client-observed read latency for the given Read
@@ -234,10 +347,10 @@ func (b *Balancer) Record(pref driver.ReadPref, lat time.Duration) {
 	defer b.mu.Unlock()
 	switch pref {
 	case driver.Primary:
-		b.latPrimary = append(b.latPrimary, lat)
+		b.latPrimary.add(lat)
 		b.ewmaPrimary = ewma(b.ewmaPrimary, lat)
 	case driver.Secondary:
-		b.latSecondary = append(b.latSecondary, lat)
+		b.latSecondary.add(lat)
 		b.ewmaSecond = ewma(b.ewmaSecond, lat)
 	}
 }
@@ -262,18 +375,29 @@ func (b *Balancer) LatencyEstimate(pref driver.ReadPref) time.Duration {
 }
 
 // rttLoop pings every node each RTTPing interval and files the sample
-// under the Read Preference group the node belongs to.
+// under the Read Preference group the node belongs to. A failed probe
+// (negative RTT: the target is down or mid-failover) is skipped and
+// counted instead of being filed as a sample — filing it would poison
+// the role's median with garbage, or file a dead primary's "RTT"
+// under a role it no longer holds.
 func (b *Balancer) rttLoop(p sim.Proc) {
 	conn := b.client.Conn()
 	for {
 		primary := conn.PrimaryID()
 		for _, id := range conn.NodeIDs() {
 			rtt := conn.Ping(p, id)
+			if rtt < 0 {
+				b.obsRTTSkips.Inc(1)
+				b.mu.Lock()
+				b.stats.RTTSkips++
+				b.mu.Unlock()
+				continue
+			}
 			b.mu.Lock()
 			if id == primary {
-				b.rttPrimary = append(b.rttPrimary, rtt)
+				b.rttPrimary.add(rtt)
 			} else {
-				b.rttSecondary = append(b.rttSecondary, rtt)
+				b.rttSecondary.add(rtt)
 			}
 			b.mu.Unlock()
 		}
@@ -297,12 +421,26 @@ func (b *Balancer) stalenessLoop(p sim.Proc) {
 			}
 		}
 		st := conn.ServerStatus(p, from)
+		if !st.OK() {
+			// The polled node is down or unreachable (common mid-
+			// failover). Skip the sample: a member-less status would
+			// read as zero staleness and silently open the gate.
+			b.obsPollSkips.Inc(1)
+			b.mu.Lock()
+			b.stats.StatusPolls++
+			b.stats.StatusSkips++
+			b.mu.Unlock()
+			p.Sleep(b.params.StalenessPoll)
+			continue
+		}
 		stale := st.MaxSecondaryStalenessSecs()
+		b.obsPolls.Inc(1)
 		b.mu.Lock()
 		b.stats.StatusPolls++
 		b.maxStale = stale
 		b.applyGateLocked()
 		b.mu.Unlock()
+		b.obsStaleness.Set(stale)
 		p.Sleep(b.params.StalenessPoll)
 	}
 }
@@ -314,13 +452,16 @@ func (b *Balancer) applyGateLocked() {
 	if breach {
 		if !b.gated {
 			b.stats.GateTrips++
+			b.obsGateTrips.Inc(1)
 		}
 		b.gated = true
 		b.balPct = 0
+		b.obsFraction.Set(0)
 		return
 	}
 	b.gated = false
 	b.balPct = b.recent[len(b.recent)-1]
+	b.obsFraction.Set(int64(b.balPct))
 }
 
 // periodLoop implements OnPeriodEnd.
@@ -338,15 +479,14 @@ func (b *Balancer) endPeriod(now time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 
-	latP, latS := b.latPrimary, b.latSecondary
-	rttP, rttS := b.rttPrimary, b.rttSecondary
-	b.latPrimary, b.latSecondary = nil, nil
-	b.rttPrimary, b.rttSecondary = nil, nil
+	latP, latS := b.latPrimary.take(), b.latSecondary.take()
+	rttP, rttS := b.rttPrimary.take(), b.rttSecondary.take()
 	b.stats.Periods++
 
 	latest := b.recent[len(b.recent)-1]
 	newBal := latest
 	ratio := 0.0
+	reason := ReasonHold
 
 	if len(latP) > 0 && len(latS) > 0 {
 		lssP := b.serverSideLatency(latP, rttP)
@@ -356,14 +496,17 @@ func (b *Balancer) endPeriod(now time.Duration) {
 		case ratio > b.params.HighRatio:
 			newBal = min(latest+b.params.DeltaPct, b.params.HighBalPct)
 			b.stats.Increases++
+			reason = ReasonIncrease
 		case ratio < b.params.LowRatio:
 			newBal = max(latest-b.params.DeltaPct, b.params.LowBalPct)
 			b.stats.Decreases++
+			reason = ReasonDecrease
 		case !b.params.NoExploration && allEqual(b.recent):
 			// Stable for RecentLen periods: probe downward to move
 			// reads back to the primary for freshness (§3.3).
 			newBal = max(latest-b.params.DeltaPct, b.params.LowBalPct)
 			b.stats.Explorations++
+			reason = ReasonExplore
 		default:
 			b.stats.Holds++
 		}
@@ -373,8 +516,15 @@ func (b *Balancer) endPeriod(now time.Duration) {
 
 	b.recent = append(b.recent[1:], newBal)
 	b.applyGateLocked()
-	b.decisions = append(b.decisions, Decision{
-		At: now, Ratio: ratio, NewBalPct: newBal, Published: b.balPct, Gated: b.gated,
+	b.obsReasons[reason].Inc(1)
+	if b.gated {
+		// Count the gate separately: the controller's reason records
+		// what it computed; "gated" records what was published.
+		b.obsReasons[ReasonGated].Inc(1)
+	}
+	b.decisions.add(Decision{
+		At: now, Ratio: ratio, NewBalPct: newBal,
+		Published: b.balPct, Reason: reason, Gated: b.gated,
 	})
 }
 

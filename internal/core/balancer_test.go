@@ -6,6 +6,7 @@ import (
 
 	"decongestant/internal/cluster"
 	"decongestant/internal/driver"
+	"decongestant/internal/obs"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
 )
@@ -229,8 +230,8 @@ func TestRTTSubtractionSeparatesNetworkFromService(t *testing.T) {
 		b.Record(driver.Secondary, 4*time.Millisecond)
 	}
 	b.mu.Lock()
-	b.rttPrimary = []time.Duration{200 * time.Microsecond}
-	b.rttSecondary = []time.Duration{3 * time.Millisecond}
+	b.rttPrimary.add(200 * time.Microsecond)
+	b.rttSecondary.add(3 * time.Millisecond)
 	b.mu.Unlock()
 	b.endPeriod(0)
 	// L_ss(primary)=3.8ms, L_ss(secondary)=1ms, ratio=3.8 > 1.3 -> up.
@@ -314,5 +315,128 @@ func TestEndToEndBalancerShiftsUnderCongestion(t *testing.T) {
 	prim, sec := sys.Router.Counts(false)
 	if sec == 0 || prim == 0 {
 		t.Fatalf("counts %d/%d", prim, sec)
+	}
+}
+
+func TestDecisionRingBoundsTrace(t *testing.T) {
+	p := Params{StaleBound: 10, DecisionCap: 8}
+	env, b := newTestBalancer(p)
+	defer env.Shutdown()
+	for i := 0; i < 50; i++ {
+		b.endPeriod(time.Duration(i) * time.Second)
+	}
+	d := b.Decisions()
+	if len(d) != 8 {
+		t.Fatalf("trace holds %d decisions, want cap 8", len(d))
+	}
+	// Oldest first: the retained window is periods 42..49.
+	if d[0].At != 42*time.Second || d[7].At != 49*time.Second {
+		t.Fatalf("window [%v, %v], want [42s, 49s]", d[0].At, d[7].At)
+	}
+	if b.Stats().Periods != 50 {
+		t.Fatalf("periods=%d", b.Stats().Periods)
+	}
+}
+
+func TestDecisionReasonsRecordedAndCounted(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	feed(b, 10*time.Millisecond, 2*time.Millisecond) // increase
+	feed(b, 2*time.Millisecond, 10*time.Millisecond) // decrease
+	b.endPeriod(0)                                   // no samples: hold
+	d := b.Decisions()
+	want := []string{ReasonIncrease, ReasonDecrease, ReasonHold}
+	for i, r := range want {
+		if d[i].Reason != r {
+			t.Errorf("decision %d reason %q, want %q", i, d[i].Reason, r)
+		}
+	}
+	snap := b.client.Metrics().Snapshot()
+	for _, r := range want {
+		if snap.CounterValue(obs.Name("balancer.decisions", "reason", r)) == 0 {
+			t.Errorf("reason %q not counted in registry", r)
+		}
+	}
+}
+
+func TestGatedDecisionCounted(t *testing.T) {
+	env, b := newTestBalancer(Params{StaleBound: 10})
+	defer env.Shutdown()
+	b.mu.Lock()
+	b.maxStale = 50
+	b.applyGateLocked()
+	b.mu.Unlock()
+	feed(b, 10*time.Millisecond, 2*time.Millisecond)
+	d := b.Decisions()
+	if !d[len(d)-1].Gated {
+		t.Fatal("decision not marked gated")
+	}
+	snap := b.client.Metrics().Snapshot()
+	if snap.CounterValue(obs.Name("balancer.decisions", "reason", ReasonGated)) == 0 {
+		t.Error("gated decision not counted")
+	}
+	if snap.CounterValue("balancer.gate_trips") == 0 {
+		t.Error("gate trip not counted in registry")
+	}
+}
+
+func TestSampleBufRingOverwrite(t *testing.T) {
+	var s sampleBuf
+	for i := 0; i < maxRoleSamples+100; i++ {
+		s.add(time.Duration(i))
+	}
+	got := s.take()
+	if len(got) != maxRoleSamples {
+		t.Fatalf("buffer holds %d samples, want cap %d", len(got), maxRoleSamples)
+	}
+	// The oldest 100 samples were overwritten by the newest 100.
+	for _, v := range got {
+		if v < 100 {
+			t.Fatalf("stale sample %d survived overwrite", v)
+		}
+	}
+	if len(s.take()) != 0 {
+		t.Fatal("take did not reset the buffer")
+	}
+}
+
+func TestBalancerLoopsSkipDownPrimary(t *testing.T) {
+	env := sim.NewEnv(9)
+	defer env.Shutdown()
+	cfg := cluster.DefaultConfig()
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	rs := cluster.New(env, cfg)
+	client := driver.NewClient(env, driver.WrapCluster(rs))
+	b := NewBalancer(env, client, Params{StaleBound: 10})
+	rs.SetDown(rs.PrimaryID(), true)
+	b.Start()
+	env.Run(5 * time.Second)
+	st := b.Stats()
+	if st.StatusSkips == 0 {
+		t.Error("down-primary serverStatus polls not skipped")
+	}
+	if st.RTTSkips == 0 {
+		t.Error("down-primary RTT pings not skipped")
+	}
+	if b.MaxStaleness() != 0 {
+		t.Errorf("staleness %d filed from a down primary", b.MaxStaleness())
+	}
+	b.mu.Lock()
+	nPrimRTT := len(b.rttPrimary.buf)
+	nSecRTT := len(b.rttSecondary.buf)
+	b.mu.Unlock()
+	if nPrimRTT != 0 {
+		t.Errorf("%d RTT samples filed for the down primary", nPrimRTT)
+	}
+	if nSecRTT == 0 {
+		t.Error("live secondaries produced no RTT samples")
+	}
+	snap := client.Metrics().Snapshot()
+	if snap.CounterValue("balancer.status_skips") == 0 {
+		t.Error("status skips not in registry")
+	}
+	if snap.CounterValue("balancer.rtt_skips") == 0 {
+		t.Error("rtt skips not in registry")
 	}
 }

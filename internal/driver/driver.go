@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"decongestant/internal/cluster"
+	"decongestant/internal/obs"
 	"decongestant/internal/sim"
 )
 
@@ -102,53 +103,100 @@ type clusterConn struct{ *cluster.ReplicaSet }
 // WrapCluster adapts an in-process replica set to the Conn interface.
 func WrapCluster(rs *cluster.ReplicaSet) Conn { return clusterConn{rs} }
 
+// MetricsProvider is implemented by connections that carry their own
+// observability registry (the in-process cluster does). NewClient
+// registers the driver's instruments there so one snapshot covers
+// cluster, driver and balancer; connections without one (the wire
+// client) get a fresh client-side registry instead.
+type MetricsProvider interface {
+	Metrics() *obs.Registry
+}
+
 // Client is a replica-set-aware session shared by any number of
 // workload processes. It is safe for concurrent use under the
 // real-time environment.
 type Client struct {
 	conn Conn
 	rng  *rand.Rand
+	reg  *obs.Registry
+
+	// Cached registry instruments (atomic; no lock needed).
+	obsSelections  [5]*obs.Counter // indexed by ReadPref
+	obsNoEligible  *obs.Counter
+	obsFallbacks   *obs.Counter
+	obsRTTSkips    *obs.Counter
+	obsStatusSkips *obs.Counter
 
 	mu       sync.Mutex
 	rtt      map[int]time.Duration // EWMA per node
 	lastStat *cluster.Status       // latest topology staleness view
 }
 
-// NewClient creates a client over the given connection, seeding RTT
-// estimates with one synthetic sample per zone model.
+// NewClient creates a client over the given connection. RTT estimates
+// start empty and fill in as the monitor (or the Read Balancer's RTT
+// pinger) collects real samples; until a node has a sample it is
+// excluded from the latency window and picked only as a last resort.
 func NewClient(env sim.Env, conn Conn) *Client {
-	return &Client{
+	reg := obs.NewRegistry()
+	if mp, ok := conn.(MetricsProvider); ok {
+		reg = mp.Metrics()
+	}
+	c := &Client{
 		conn: conn,
 		rng:  env.NewRand("driver-client"),
+		reg:  reg,
 		rtt:  make(map[int]time.Duration),
 	}
+	for pref := Primary; pref <= Nearest; pref++ {
+		c.obsSelections[pref] = reg.Counter(obs.Name("driver.selections", "pref", pref.String()))
+	}
+	c.obsNoEligible = reg.Counter("driver.no_eligible_server")
+	c.obsFallbacks = reg.Counter("driver.fallback_retries")
+	c.obsRTTSkips = reg.Counter("driver.rtt_skips")
+	c.obsStatusSkips = reg.Counter("driver.status_skips")
+	return c
 }
 
 // Conn returns the underlying connection.
 func (c *Client) Conn() Conn { return c.conn }
 
+// Metrics returns the registry the client's instruments live in —
+// the connection's own registry when it provides one.
+func (c *Client) Metrics() *obs.Registry { return c.reg }
+
 // StartMonitor launches the topology monitor: it pings every member
 // and refreshes the primary's serverStatus on the given interval,
 // feeding server selection (MongoDB's client monitors do the same
-// roughly every 10 seconds).
+// roughly every 10 seconds). When the primary is down or mid-failover
+// the status sample is skipped — and counted — rather than cached as
+// if it were a valid staleness view.
 func (c *Client) StartMonitor(env sim.Env, interval time.Duration) {
 	env.Spawn("driver/monitor", func(p sim.Proc) {
 		for {
 			c.RefreshRTTs(p)
-			st := c.conn.ServerStatus(p, c.conn.PrimaryID())
-			c.mu.Lock()
-			c.lastStat = &st
-			c.mu.Unlock()
+			if st := c.conn.ServerStatus(p, c.conn.PrimaryID()); st.OK() {
+				c.mu.Lock()
+				c.lastStat = &st
+				c.mu.Unlock()
+			} else {
+				c.obsStatusSkips.Inc(1)
+			}
 			p.Sleep(interval)
 		}
 	})
 }
 
 // RefreshRTTs pings every node once and folds the samples into the
-// EWMA estimates (MongoDB's alpha is 0.2).
+// EWMA estimates (MongoDB's alpha is 0.2). Failed pings — a down
+// node's probe returns a negative duration — are skipped and counted,
+// never folded into the estimate.
 func (c *Client) RefreshRTTs(p sim.Proc) {
 	for _, id := range c.conn.NodeIDs() {
 		sample := c.conn.Ping(p, id)
+		if sample < 0 {
+			c.obsRTTSkips.Inc(1)
+			continue
+		}
 		c.mu.Lock()
 		if prev, ok := c.rtt[id]; ok {
 			c.rtt[id] = time.Duration(0.8*float64(prev) + 0.2*float64(sample))
@@ -174,6 +222,9 @@ func (c *Client) SelectServer(opts ReadOptions) (int, error) {
 	if opts.MaxStalenessSeconds != 0 && opts.MaxStalenessSeconds < SmallestMaxStalenessSeconds {
 		return 0, ErrMaxStalenessTooSmall
 	}
+	if int(opts.Pref) >= 0 && int(opts.Pref) < len(c.obsSelections) {
+		c.obsSelections[opts.Pref].Inc(1)
+	}
 	primary := c.conn.PrimaryID()
 	var secondaries []int
 	for _, id := range c.conn.NodeIDs() {
@@ -191,6 +242,7 @@ func (c *Client) SelectServer(opts ReadOptions) (int, error) {
 		return primary, nil // the primary is tracked via PrimaryID
 	case Secondary:
 		if len(secondaries) == 0 {
+			c.obsNoEligible.Inc(1)
 			return 0, ErrNoEligibleServer
 		}
 		return c.pickWithinWindow(secondaries), nil
@@ -268,10 +320,12 @@ func (c *Client) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) 
 			fallback := opts
 			fallback.Pref = Secondary
 			if id2, err2 := c.SelectServer(fallback); err2 == nil {
+				c.obsFallbacks.Inc(1)
 				res, err = c.conn.ExecRead(p, id2, fn)
 				nodeID = id2
 			}
 		case SecondaryPreferred:
+			c.obsFallbacks.Inc(1)
 			nodeID = c.conn.PrimaryID()
 			res, err = c.conn.ExecRead(p, nodeID, fn)
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"decongestant/internal/cluster"
+	"decongestant/internal/obs"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
 )
@@ -223,5 +224,88 @@ func TestLatencyWindowExcludesSlowNode(t *testing.T) {
 		if id == 2 {
 			t.Fatal("selection chose a node outside the latency window")
 		}
+	}
+}
+
+// TestMonitorSkipsDownPrimary: when the primary is down the monitor
+// must neither cache a garbage staleness view nor fold failed pings
+// into the RTT estimates — it skips the samples and counts them.
+func TestMonitorSkipsDownPrimary(t *testing.T) {
+	env, rs, c := testSetup(11)
+	defer env.Shutdown()
+	rs.SetDown(rs.PrimaryID(), true)
+	c.StartMonitor(env, 100*time.Millisecond)
+	env.Run(time.Second)
+	c.mu.Lock()
+	stat := c.lastStat
+	primRTT, hasPrimRTT := c.rtt[rs.PrimaryID()]
+	c.mu.Unlock()
+	if stat != nil {
+		t.Fatalf("monitor cached a status from a down primary: %+v", *stat)
+	}
+	if hasPrimRTT {
+		t.Fatalf("monitor recorded RTT %v for the down primary", primRTT)
+	}
+	snap := c.Metrics().Snapshot()
+	if snap.CounterValue("driver.status_skips") == 0 {
+		t.Error("status skips not counted")
+	}
+	if snap.CounterValue("driver.rtt_skips") == 0 {
+		t.Error("rtt skips not counted")
+	}
+	// Secondaries are still measured.
+	if c.RTT(rs.SecondaryIDs()[0]) == 0 {
+		t.Error("live secondary has no RTT sample")
+	}
+}
+
+// TestDriverInstrumentsShareClusterRegistry: selections, fallbacks and
+// no-eligible-server events land in the cluster's registry.
+func TestDriverInstrumentsShareClusterRegistry(t *testing.T) {
+	env, rs, c := testSetup(12)
+	defer env.Shutdown()
+	if c.Metrics() != rs.Metrics() {
+		t.Fatal("in-process client did not adopt the cluster registry")
+	}
+	for _, id := range rs.SecondaryIDs() {
+		rs.SetDown(id, true)
+	}
+	env.Spawn("client", func(p sim.Proc) {
+		c.RefreshRTTs(p)
+		// All secondaries down: SecondaryPreferred still selects one
+		// (selection is role-based), the read fails with ErrNodeDown,
+		// and the driver falls back to the primary.
+		if _, _, _, err := c.Read(p, ReadOptions{Pref: SecondaryPreferred}, func(v cluster.ReadView) (any, error) {
+			return nil, nil
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(time.Second)
+	snap := rs.Metrics().Snapshot()
+	if snap.CounterValue(obs.Name("driver.selections", "pref", "secondaryPreferred")) == 0 {
+		t.Error("secondaryPreferred selections not counted")
+	}
+	if snap.CounterValue("driver.fallback_retries") == 0 {
+		t.Error("fallback retries not counted")
+	}
+}
+
+// TestNoEligibleServerCounted: a single-node replica set has no
+// secondaries, so Pref Secondary fails and is counted.
+func TestNoEligibleServerCounted(t *testing.T) {
+	env := sim.NewEnv(13)
+	defer env.Shutdown()
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = 1
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	rs := cluster.New(env, cfg)
+	c := NewClient(env, WrapCluster(rs))
+	if _, err := c.SelectServer(ReadOptions{Pref: Secondary}); err != ErrNoEligibleServer {
+		t.Fatalf("err=%v, want ErrNoEligibleServer", err)
+	}
+	if c.Metrics().Snapshot().CounterValue("driver.no_eligible_server") != 1 {
+		t.Fatal("no-eligible-server not counted")
 	}
 }

@@ -6,7 +6,10 @@ import (
 	"testing"
 	"time"
 
+	"decongestant/internal/cluster"
 	"decongestant/internal/core"
+	"decongestant/internal/obs"
+	"decongestant/internal/sim"
 	"decongestant/internal/workload/ycsb"
 )
 
@@ -249,4 +252,49 @@ func TestExpClusterConfigSane(t *testing.T) {
 	if cfg.Nodes != 3 || cfg.CPUSlots == 0 || cfg.ReadCost == 0 {
 		t.Fatalf("bad config: %+v", cfg)
 	}
+}
+
+// TestSetupMetricsCoversAllLayers: after a short workload, the
+// harness snapshot reports nonzero instruments from the cluster, the
+// driver and the Read Balancer — all in one registry.
+func TestSetupMetricsCoversAllLayers(t *testing.T) {
+	params := core.DefaultParams()
+	params.Period = 2 * time.Second
+	s := NewSetup(SysDecongestant, Options{Seed: 1, Cluster: ExpClusterConfig(), Params: params})
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		s.Env.Spawn("client", func(p sim.Proc) {
+			for {
+				s.Core.Router.Read(p, func(v cluster.ReadView) (any, error) {
+					v.FindByID("kv", "k")
+					return nil, nil
+				})
+			}
+		})
+	}
+	s.Env.Run(30 * time.Second)
+	snap := s.Metrics()
+	for _, name := range []string{
+		obs.Name("cluster.reads", "node", "0"),
+		obs.Name("driver.selections", "pref", "primary"),
+		"balancer.status_polls",
+	} {
+		if snap.CounterValue(name) == 0 {
+			t.Errorf("%s is zero after workload", name)
+		}
+	}
+	if reasons := sumReasonCounters(snap); reasons == 0 {
+		t.Error("no balancer decisions counted")
+	}
+	if in, ok := snap.Get(obs.Name("cluster.cpu_queue_wait", "node", "0")); !ok || in.Hist == nil || in.Hist.Count == 0 {
+		t.Error("queue-wait histogram empty")
+	}
+}
+
+func sumReasonCounters(snap obs.Snapshot) uint64 {
+	var total uint64
+	for _, r := range []string{core.ReasonIncrease, core.ReasonDecrease, core.ReasonExplore, core.ReasonHold, core.ReasonGated} {
+		total += snap.CounterValue(obs.Name("balancer.decisions", "reason", r))
+	}
+	return total
 }

@@ -15,6 +15,7 @@ import (
 	"decongestant/internal/core"
 	"decongestant/internal/driver"
 	"decongestant/internal/metrics"
+	"decongestant/internal/obs"
 	"decongestant/internal/sim"
 	"decongestant/internal/workload"
 	"decongestant/internal/workload/sworkload"
@@ -134,6 +135,12 @@ func NewSetup(kind SystemKind, opts Options) *Setup {
 
 // Close shuts the environment down.
 func (s *Setup) Close() { s.Env.Shutdown() }
+
+// Metrics returns the observability snapshot for the whole system
+// under test. In-process the driver and Read Balancer register their
+// instruments in the cluster's registry, so one snapshot covers every
+// layer: cluster.*, driver.* and balancer.*.
+func (s *Setup) Metrics() obs.Snapshot { return s.RS.Metrics().Snapshot() }
 
 // Collector implements workload.Observer, bucketing reads (optionally
 // filtered to one kind, e.g. StockLevel) into fixed windows with

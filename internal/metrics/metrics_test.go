@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -170,6 +171,26 @@ func TestCounter(t *testing.T) {
 	c.Inc(4)
 	if c.Total() != 7 {
 		t.Fatalf("Total=%d", c.Total())
+	}
+}
+
+// TestCounterConcurrent verifies Inc is safe from concurrently running
+// procs (run under -race).
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Total() != 8000 {
+		t.Fatalf("Total=%d, want 8000", c.Total())
 	}
 }
 

@@ -1,0 +1,356 @@
+// Package obs is the unified observability registry: goroutine-safe
+// named instruments (monotone counters, gauges, latency histograms)
+// that every layer of the stack — cluster nodes, the driver, the Read
+// Balancer, and the wire server — registers into, plus labeled
+// snapshots with text and JSON exporters so the same telemetry can be
+// read in-process, logged periodically, or fetched over TCP via the
+// wire protocol's `metrics` command.
+//
+// Counters and gauges are lock-free (sync/atomic); histograms wrap
+// the single-writer metrics.Histogram in a mutex. Instruments are
+// get-or-create by name, so independent components referring to the
+// same name share one instrument. Labels are encoded into the name
+// with Name, e.g. Name("cluster.reads", "node", "0") —
+// "cluster.reads{node=0}" — keeping lookups a single map access.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decongestant/internal/metrics"
+)
+
+// Counter is a monotone event counter, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds n events. A nil counter is a no-op, so callers never need
+// to guard instrument lookups.
+func (c *Counter) Inc(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the count so far (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current level. A nil gauge is a no-op.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a concurrency-safe wrapper over the log-bucketed
+// metrics.Histogram.
+type Histogram struct {
+	mu sync.Mutex
+	h  *metrics.Histogram
+}
+
+// Observe records one duration. A nil histogram is a no-op.
+func (h *Histogram) Observe(v time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Record(v)
+	h.mu.Unlock()
+}
+
+// Stats summarizes the observations so far.
+func (h *Histogram) Stats() HistStats {
+	if h == nil {
+		return HistStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistStats{
+		Count: h.h.Count(),
+		Sum:   h.h.Sum(),
+		Mean:  h.h.Mean(),
+		Min:   h.h.Min(),
+		Max:   h.h.Max(),
+		P50:   h.h.Percentile(0.50),
+		P80:   h.h.Percentile(0.80),
+		P99:   h.h.Percentile(0.99),
+	}
+}
+
+// HistStats is one histogram's summary inside a snapshot. Durations
+// serialize as nanoseconds.
+type HistStats struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum"`
+	Mean  time.Duration `json:"mean"`
+	Min   time.Duration `json:"min"`
+	Max   time.Duration `json:"max"`
+	P50   time.Duration `json:"p50"`
+	P80   time.Duration `json:"p80"`
+	P99   time.Duration `json:"p99"`
+}
+
+// Instrument kinds inside a snapshot.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// Instrument is one named reading inside a snapshot.
+type Instrument struct {
+	Name  string     `json:"name"`
+	Kind  string     `json:"kind"`
+	Count uint64     `json:"value,omitempty"` // counter total
+	Value int64      `json:"level,omitempty"` // gauge level
+	Hist  *HistStats `json:"hist,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of every instrument, sorted by
+// name. It is plain data, JSON-round-trippable for the wire protocol.
+type Snapshot struct {
+	Instruments []Instrument `json:"instruments"`
+}
+
+// Registry holds named instruments. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil (whose methods are no-ops).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{h: metrics.NewHistogram()}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot reads every instrument. The registry lock is held only
+// while collecting the instrument pointers, not while summarizing, so
+// a snapshot never stalls hot-path increments for long.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for name, c := range counters {
+		s.Instruments = append(s.Instruments, Instrument{Name: name, Kind: KindCounter, Count: c.Value()})
+	}
+	for name, g := range gauges {
+		s.Instruments = append(s.Instruments, Instrument{Name: name, Kind: KindGauge, Value: g.Value()})
+	}
+	for name, h := range hists {
+		st := h.Stats()
+		s.Instruments = append(s.Instruments, Instrument{Name: name, Kind: KindHistogram, Hist: &st})
+	}
+	s.sort()
+	return s
+}
+
+func (s *Snapshot) sort() {
+	sort.Slice(s.Instruments, func(i, j int) bool {
+		return s.Instruments[i].Name < s.Instruments[j].Name
+	})
+}
+
+// Name formats an instrument name with labels: Name("x", "a", "1",
+// "b", "2") is "x{a=1,b=2}". Labels are sorted by key so the same
+// label set always produces the same name. An odd trailing key is
+// ignored.
+func Name(base string, kv ...string) string {
+	n := len(kv) / 2
+	if n == 0 {
+		return base
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{kv[2*i], kv[2*i+1]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Get returns the named instrument reading, if present.
+func (s Snapshot) Get(name string) (Instrument, bool) {
+	for _, in := range s.Instruments {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Instrument{}, false
+}
+
+// CounterValue returns the named counter's total (0 when absent).
+func (s Snapshot) CounterValue(name string) uint64 {
+	in, _ := s.Get(name)
+	return in.Count
+}
+
+// Merge returns a snapshot containing s's instruments plus those of
+// every other snapshot, re-sorted. Duplicate names are kept as-is
+// (they can arise when a pushed client snapshot reuses a server-side
+// name); consumers that need uniqueness should prefix sources.
+func (s Snapshot) Merge(others ...Snapshot) Snapshot {
+	out := Snapshot{Instruments: append([]Instrument(nil), s.Instruments...)}
+	for _, o := range others {
+		out.Instruments = append(out.Instruments, o.Instruments...)
+	}
+	out.sort()
+	return out
+}
+
+// Prefixed returns a copy of the snapshot with every instrument name
+// prefixed — used to namespace pushed client snapshots by source.
+func (s Snapshot) Prefixed(prefix string) Snapshot {
+	out := Snapshot{Instruments: make([]Instrument, len(s.Instruments))}
+	for i, in := range s.Instruments {
+		in.Name = prefix + in.Name
+		out.Instruments[i] = in
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Text renders the snapshot one instrument per line, the
+// serverStatus-style human format logged by cmd/replsetd.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	for _, in := range s.Instruments {
+		switch in.Kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "%-48s counter   %d\n", in.Name, in.Count)
+		case KindGauge:
+			fmt.Fprintf(&b, "%-48s gauge     %d\n", in.Name, in.Value)
+		case KindHistogram:
+			h := in.Hist
+			if h == nil {
+				h = &HistStats{}
+			}
+			fmt.Fprintf(&b, "%-48s histogram count=%d mean=%s p50=%s p80=%s p99=%s max=%s\n",
+				in.Name, h.Count,
+				metrics.FormatDuration(h.Mean), metrics.FormatDuration(h.P50),
+				metrics.FormatDuration(h.P80), metrics.FormatDuration(h.P99),
+				metrics.FormatDuration(h.Max))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNameFormatting(t *testing.T) {
+	if got := Name("cluster.reads"); got != "cluster.reads" {
+		t.Fatalf("bare name: %q", got)
+	}
+	if got := Name("cluster.reads", "node", "2"); got != "cluster.reads{node=2}" {
+		t.Fatalf("one label: %q", got)
+	}
+	// Labels sort by key regardless of argument order.
+	a := Name("x", "b", "2", "a", "1")
+	b := Name("x", "a", "1", "b", "2")
+	if a != b || a != "x{a=1,b=2}" {
+		t.Fatalf("label sorting: %q vs %q", a, b)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("c")
+	c2 := r.Counter("c")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	c1.Inc(3)
+	if c2.Value() != 3 {
+		t.Fatalf("shared counter value %d", c2.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(-7)
+	g.Add(2)
+	if g.Value() != -5 {
+		t.Fatalf("gauge value %d", g.Value())
+	}
+	h := r.Histogram("h")
+	h.Observe(time.Millisecond)
+	if st := h.Stats(); st.Count != 1 || st.Mean == 0 {
+		t.Fatalf("histogram stats %+v", st)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc(1)
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(time.Second)
+	if v := r.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil counter value %d", v)
+	}
+	if s := r.Snapshot(); len(s.Instruments) != 0 {
+		t.Fatalf("nil registry snapshot %+v", s)
+	}
+}
+
+// TestConcurrentIncObserveSnapshot hammers one registry from many
+// goroutines while snapshotting; run under -race this is the
+// registry's core guarantee.
+func TestConcurrentIncObserveSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared.count").Inc(1)
+				r.Counter(Name("labeled.count", "worker", string(rune('a'+w)))).Inc(1)
+				r.Gauge("shared.gauge").Set(int64(i))
+				r.Histogram("shared.hist").Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	// Concurrent snapshots must be safe and internally consistent.
+	var snapWG sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			for i := 0; i < 50; i++ {
+				snap := r.Snapshot()
+				if _, ok := snap.Get("shared.count"); !ok && len(snap.Instruments) > 0 {
+					// The counter exists from the first worker op on.
+					continue
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snapWG.Wait()
+	snap := r.Snapshot()
+	if got := snap.CounterValue("shared.count"); got != workers*perWorker {
+		t.Fatalf("shared.count = %d, want %d", got, workers*perWorker)
+	}
+	hist, ok := snap.Get("shared.hist")
+	if !ok || hist.Hist == nil || hist.Hist.Count != workers*perWorker {
+		t.Fatalf("shared.hist = %+v", hist)
+	}
+}
+
+func TestSnapshotSortedAndExported(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Inc(2)
+	r.Gauge("a.gauge").Set(5)
+	r.Histogram("c.hist").Observe(3 * time.Millisecond)
+	snap := r.Snapshot()
+	if len(snap.Instruments) != 3 {
+		t.Fatalf("instruments %d", len(snap.Instruments))
+	}
+	for i := 1; i < len(snap.Instruments); i++ {
+		if snap.Instruments[i-1].Name >= snap.Instruments[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q",
+				snap.Instruments[i-1].Name, snap.Instruments[i].Name)
+		}
+	}
+	text := snap.Text()
+	for _, want := range []string{"b.count", "counter", "a.gauge", "gauge", "c.hist", "histogram", "count=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text export missing %q:\n%s", want, text)
+		}
+	}
+	// JSON round trip preserves readings — the wire protocol relies on
+	// this.
+	raw, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CounterValue("b.count") != 2 {
+		t.Fatalf("counter lost in JSON round trip: %+v", back)
+	}
+	in, ok := back.Get("c.hist")
+	if !ok || in.Hist == nil || in.Hist.Count != 1 {
+		t.Fatalf("histogram lost in JSON round trip: %+v", in)
+	}
+}
+
+func TestMergeAndPrefixed(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("server.reqs").Inc(1)
+	r2 := NewRegistry()
+	r2.Counter("client.sel").Inc(4)
+	merged := r1.Snapshot().Merge(r2.Snapshot().Prefixed("c0."))
+	if merged.CounterValue("server.reqs") != 1 || merged.CounterValue("c0.client.sel") != 4 {
+		t.Fatalf("merge/prefix wrong: %+v", merged)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"decongestant/internal/cluster"
 	"decongestant/internal/driver"
+	"decongestant/internal/obs"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
@@ -175,13 +176,37 @@ func (cl *Client) Zone(id int) string {
 	return topo.Zones[id]
 }
 
-// Ping implements driver.Conn: one protocol round trip, timed.
+// Ping implements driver.Conn: one protocol round trip, timed. A
+// failed probe — the node is down, or the server is unreachable —
+// returns a negative duration so callers skip the sample instead of
+// folding an error path's timing into their RTT estimates.
 func (cl *Client) Ping(p sim.Proc, nodeID int) time.Duration {
 	start := time.Now()
 	if _, err := cl.roundTrip(&Request{Op: OpPing, Node: nodeID}); err != nil {
-		return time.Since(start)
+		return -1
 	}
 	return time.Since(start)
+}
+
+// FetchMetrics retrieves the server's observability snapshot — the
+// cluster registry merged with every pushed client snapshot.
+func (cl *Client) FetchMetrics() (obs.Snapshot, error) {
+	resp, err := cl.roundTrip(&Request{Op: OpMetrics})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if resp.Metrics == nil {
+		return obs.Snapshot{}, errors.New("wire: empty metrics response")
+	}
+	return *resp.Metrics, nil
+}
+
+// PushMetrics uploads a client-side snapshot under the given source
+// name; the server namespaces it as "<source>." and folds it into
+// subsequent metrics responses. Push repeatedly to keep it current.
+func (cl *Client) PushMetrics(source string, snap obs.Snapshot) error {
+	_, err := cl.roundTrip(&Request{Op: OpMetricsPush, Source: source, Snapshot: &snap})
+	return err
 }
 
 // ServerStatus implements driver.Conn.

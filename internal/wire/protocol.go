@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 
+	"decongestant/internal/obs"
 	"decongestant/internal/storage"
 )
 
@@ -26,6 +27,15 @@ const (
 	OpFind       = "find"
 	OpCount      = "count"
 	OpWriteBatch = "write_batch"
+	// OpMetrics returns the server's observability snapshot — the
+	// cluster's registry merged with any snapshots clients have pushed —
+	// serverStatus-style polling for telemetry.
+	OpMetrics = "metrics"
+	// OpMetricsPush uploads a client-side registry snapshot (driver and
+	// balancer instruments live at the client) so OpMetrics exposes the
+	// whole deployment from one endpoint. Pushes are keyed by Source;
+	// repeat pushes replace the previous snapshot.
+	OpMetricsPush = "metrics_push"
 )
 
 // MaxFrame bounds a single protocol frame (16 MiB).
@@ -61,6 +71,9 @@ type Request struct {
 	// read ops wait until the target node has applied this OpTime.
 	AfterSecs int64  `json:"after_secs,omitempty"`
 	AfterInc  uint32 `json:"after_inc,omitempty"`
+	// Source names the pusher for metrics_push; Snapshot is its payload.
+	Source   string        `json:"source,omitempty"`
+	Snapshot *obs.Snapshot `json:"snapshot,omitempty"`
 }
 
 // Member is the wire form of a serverStatus member row.
@@ -99,6 +112,8 @@ type Response struct {
 	// client session's causal token.
 	OpSecs int64  `json:"op_secs,omitempty"`
 	OpInc  uint32 `json:"op_inc,omitempty"`
+	// Metrics is the observability snapshot for the metrics op.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // WriteFrame sends one JSON message with a 4-byte length prefix.

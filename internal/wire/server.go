@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"decongestant/internal/cluster"
+	"decongestant/internal/obs"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
@@ -21,11 +22,25 @@ type Server struct {
 	env *sim.RealtimeEnv
 	rs  *cluster.ReplicaSet
 
-	mu    sync.Mutex
-	ln    net.Listener
-	conns map[net.Conn]struct{}
-	done  bool
-	log   *log.Logger
+	// Per-opcode request counts and service latencies, registered in
+	// the cluster's registry so the metrics op reports them alongside
+	// the node instruments. Built once at construction; ops outside the
+	// protocol land in the "other" bucket.
+	opCounts map[string]*obs.Counter
+	opLat    map[string]*obs.Histogram
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	pushed map[string]obs.Snapshot // client snapshots by source, pre-prefixed
+	done   bool
+	log    *log.Logger
+}
+
+// wireOps enumerates the protocol's opcodes for instrument setup.
+var wireOps = []string{
+	OpTopology, OpPing, OpStatus, OpFindByID, OpFindMany, OpFind,
+	OpCount, OpWriteBatch, OpMetrics, OpMetricsPush, "other",
 }
 
 // NewServer creates a server over the given replica set. The replica
@@ -34,7 +49,29 @@ func NewServer(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger)
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
-	return &Server{env: env, rs: rs, conns: map[net.Conn]struct{}{}, log: logger}
+	s := &Server{
+		env: env, rs: rs,
+		opCounts: make(map[string]*obs.Counter, len(wireOps)),
+		opLat:    make(map[string]*obs.Histogram, len(wireOps)),
+		conns:    map[net.Conn]struct{}{},
+		pushed:   map[string]obs.Snapshot{},
+		log:      logger,
+	}
+	reg := rs.Metrics()
+	for _, op := range wireOps {
+		s.opCounts[op] = reg.Counter(obs.Name("wire.requests", "op", op))
+		s.opLat[op] = reg.Histogram(obs.Name("wire.request_latency", "op", op))
+	}
+	return s
+}
+
+// instruments returns the count and latency instruments for an opcode.
+func (s *Server) instruments(op string) (*obs.Counter, *obs.Histogram) {
+	c, ok := s.opCounts[op]
+	if !ok {
+		return s.opCounts["other"], s.opLat["other"]
+	}
+	return c, s.opLat[op]
 }
 
 // Serve accepts connections on ln until Close. It returns after the
@@ -90,7 +127,11 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		count, lat := s.instruments(req.Op)
+		start := proc.Now()
 		resp := s.dispatch(proc, &req)
+		count.Inc(1)
+		lat.Observe(proc.Now() - start)
 		resp.ID = req.ID
 		if err := WriteFrame(conn, resp); err != nil {
 			s.log.Printf("wire: write to %s: %v", conn.RemoteAddr(), err)
@@ -113,7 +154,10 @@ func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
 		return resp
 	}
 	if req.Node < 0 || req.Node >= len(s.rs.NodeIDs()) {
-		if req.Op != OpTopology && req.Op != OpWriteBatch {
+		switch req.Op {
+		case OpTopology, OpWriteBatch, OpMetrics, OpMetricsPush:
+			// Not addressed to a node.
+		default:
 			return fail(fmt.Errorf("wire: bad node %d", req.Node))
 		}
 	}
@@ -125,7 +169,9 @@ func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
 		}
 		resp.Topo = topo
 	case OpPing:
-		s.rs.Ping(p, req.Node)
+		if s.rs.Ping(p, req.Node) < 0 {
+			return fail(cluster.ErrNodeDown)
+		}
 	case OpStatus:
 		st := s.rs.ServerStatus(p, req.Node)
 		body := &StatusBody{From: st.From, Primary: st.Primary}
@@ -220,6 +266,27 @@ func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
 			return fail(err)
 		}
 		resp.OpSecs, resp.OpInc = commitTS.Secs, commitTS.Inc
+	case OpMetrics:
+		snap := s.rs.Metrics().Snapshot()
+		s.mu.Lock()
+		others := make([]obs.Snapshot, 0, len(s.pushed))
+		for _, ps := range s.pushed {
+			others = append(others, ps)
+		}
+		s.mu.Unlock()
+		merged := snap.Merge(others...)
+		resp.Metrics = &merged
+	case OpMetricsPush:
+		if req.Snapshot == nil {
+			return fail(fmt.Errorf("wire: metrics_push without a snapshot"))
+		}
+		src := req.Source
+		if src == "" {
+			src = "client"
+		}
+		s.mu.Lock()
+		s.pushed[src] = req.Snapshot.Prefixed(src + ".")
+		s.mu.Unlock()
 	default:
 		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
 	}

@@ -9,6 +9,7 @@ import (
 	"decongestant/internal/cluster"
 	"decongestant/internal/core"
 	"decongestant/internal/driver"
+	"decongestant/internal/obs"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
 )
@@ -430,5 +431,112 @@ func TestCausalSessionOverWire(t *testing.T) {
 	}
 	if !res.(bool) {
 		t.Fatal("causal session read over wire missed the session's write")
+	}
+}
+
+// TestWireMetricsRoundTrip is the acceptance check for the metrics op:
+// after a workload runs over the wire, a plain client fetch shows
+// nonzero cluster-, driver- and balancer-level instruments — the
+// latter two arriving via metrics_push from the client side, where
+// those layers actually live.
+func TestWireMetricsRoundTrip(t *testing.T) {
+	_, rs, addr, stop := startTestServer(t)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	env := sim.NewRealtimeEnv(12)
+	defer env.Shutdown()
+	params := core.DefaultParams()
+	params.Period = 300 * time.Millisecond
+	params.StalenessPoll = 100 * time.Millisecond
+	params.RTTPing = 100 * time.Millisecond
+	sys := core.NewSystem(env, cl, params)
+
+	p := env.Adhoc("seed")
+	if _, _, err := sys.Router.Write(p, func(tx cluster.WriteTxn) (any, error) {
+		return nil, tx.Insert("kv", storage.D{"_id": "m", "v": 0})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	env.Spawn("reader", func(p sim.Proc) {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			sys.Router.Read(p, func(v cluster.ReadView) (any, error) {
+				v.FindByID("kv", "m")
+				return nil, nil
+			})
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workload timed out")
+	}
+
+	// Push the client-side registry (driver + balancer instruments).
+	if err := cl.PushMetrics("app", sys.Client.Metrics().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.FetchMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		obs.Name("cluster.reads", "node", "0"),
+		obs.Name("wire.requests", "op", OpFindByID),
+		obs.Name("app.driver.selections", "pref", "primary"),
+	} {
+		if snap.CounterValue(name) == 0 {
+			t.Errorf("%s is zero in the fetched snapshot", name)
+		}
+	}
+	if _, ok := snap.Get("app.balancer.fraction_pct"); !ok {
+		t.Error("pushed balancer gauge missing from the fetched snapshot")
+	}
+	if in, ok := snap.Get(obs.Name("wire.request_latency", "op", OpFindByID)); !ok || in.Hist == nil || in.Hist.Count == 0 {
+		t.Error("per-op latency histogram empty")
+	}
+	// A re-push replaces, not duplicates, the source's snapshot.
+	if err := cl.PushMetrics("app", sys.Client.Metrics().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := cl.FetchMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, in := range snap2.Instruments {
+		if in.Name == "app.balancer.fraction_pct" {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Errorf("re-push left %d copies of the gauge, want 1", seen)
+	}
+	_ = rs
+}
+
+// TestWirePingDownNodeIsNegative: a down node's probe fails in-band,
+// so client-side RTT estimators skip it.
+func TestWirePingDownNodeIsNegative(t *testing.T) {
+	_, rs, addr, stop := startTestServer(t)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	p := sim.NewRealtimeEnv(13).Adhoc("test")
+	down := rs.SecondaryIDs()[0]
+	rs.SetDown(down, true)
+	if rtt := cl.Ping(p, down); rtt >= 0 {
+		t.Fatalf("ping of a down node returned %v, want negative", rtt)
+	}
+	if rtt := cl.Ping(p, rs.PrimaryID()); rtt <= 0 {
+		t.Fatalf("ping of a live node returned %v", rtt)
 	}
 }
