@@ -1,0 +1,29 @@
+GO ?= go
+# Benchmark knobs: CI smoke-runs with BENCHTIME=1x; the committed
+# BENCH_PR3.json numbers come from a full-length run (default 2s).
+BENCHTIME ?= 2s
+COUNT ?= 3
+
+.PHONY: all build test race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# bench runs the PR 3 concurrency benchmarks (storage read path,
+# per-node concurrent reads, wire round trips) and rewrites
+# BENCH_PR3.json: fresh numbers side by side with the recorded
+# coarse-mutex baseline in bench/baseline_pr3.txt.
+bench:
+	$(GO) test ./internal/storage -run '^$$' -bench BenchmarkCollection -benchtime $(BENCHTIME) -count $(COUNT) -benchmem > bench/current_pr3.txt
+	$(GO) test ./internal/cluster -run '^$$' -bench BenchmarkNode -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr3.txt
+	$(GO) test ./internal/wire -run '^$$' -bench BenchmarkWire -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr3.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr3.txt < bench/current_pr3.txt > BENCH_PR3.json
+	@cat BENCH_PR3.json

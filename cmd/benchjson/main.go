@@ -1,0 +1,141 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// record. Fed the current run on stdin and (optionally) a recorded
+// pre-change baseline via -baseline, it emits both result sets plus
+// per-benchmark improvement factors, normalized so that > 1 always
+// means "better" (time and allocation metrics invert; throughput
+// metrics divide directly). The repo's `make bench` target uses it to
+// produce BENCH_PR3.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result aggregates the -count repetitions of one benchmark.
+type result struct {
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"` // unit -> mean value
+}
+
+// lowerIsBetter reports whether a smaller value of the unit is an
+// improvement (times and allocations, as opposed to throughputs).
+func lowerIsBetter(unit string) bool {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true
+	}
+	return !strings.HasSuffix(unit, "/s")
+}
+
+// parse reads `go test -bench` output and aggregates benchmark lines
+// by name (the -CPU suffix is stripped), averaging each metric across
+// repetitions. Non-benchmark lines are ignored.
+func parse(r io.Reader) (map[string]*result, error) {
+	sums := map[string]map[string]float64{}
+	runs := map[string]int{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not an iteration count: not a benchmark line
+		}
+		if sums[name] == nil {
+			sums[name] = map[string]float64{}
+		}
+		runs[name]++
+		// Remaining fields come in value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], sc.Text())
+			}
+			sums[name][fields[i+1]] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*result, len(sums))
+	for name, m := range sums {
+		res := &result{Runs: runs[name], Metrics: make(map[string]float64, len(m))}
+		for unit, sum := range m {
+			res.Metrics[unit] = sum / float64(runs[name])
+		}
+		out[name] = res
+	}
+	return out, nil
+}
+
+func parseFile(path string) (map[string]*result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "recorded pre-change `go test -bench` output to compare against")
+	flag.Parse()
+
+	current, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	doc := map[string]any{"current": current}
+	if *baselinePath != "" {
+		baseline, err := parseFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		doc["baseline"] = baseline
+		improvement := map[string]map[string]float64{}
+		for name, cur := range current {
+			base, ok := baseline[name]
+			if !ok {
+				continue
+			}
+			row := map[string]float64{}
+			for unit, cv := range cur.Metrics {
+				bv, ok := base.Metrics[unit]
+				if !ok || bv == 0 || cv == 0 {
+					continue
+				}
+				if lowerIsBetter(unit) {
+					row[unit] = bv / cv
+				} else {
+					row[unit] = cv / bv
+				}
+			}
+			if len(row) > 0 {
+				improvement[name] = row
+			}
+		}
+		doc["improvement_x"] = improvement
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -45,7 +45,7 @@ func main() {
 		env.Spawn("client", func(p sim.Proc) {
 			for {
 				sys.Router.Read(p, func(v cluster.ReadView) (any, error) {
-					d, _ := v.FindByIDShared("kv", "hot")
+					d, _ := v.FindByID("kv", "hot")
 					return d.Int("v"), nil
 				})
 			}

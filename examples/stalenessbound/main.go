@@ -58,7 +58,7 @@ func main() {
 		env.Spawn("reader", func(p sim.Proc) {
 			for {
 				sys.Router.Read(p, func(v cluster.ReadView) (any, error) {
-					v.FindByIDShared("load", "k1")
+					v.FindByID("load", "k1")
 					return nil, nil
 				})
 			}

@@ -1,0 +1,212 @@
+package cluster
+
+// Benchmarks for the per-node read path on the real-time environment.
+// They measure what PR 3 changes: how many reads one node can service
+// per second when several clients hit it concurrently, and how many
+// allocations each read costs. Simulated service times and network
+// RTTs are forced negative (a no-op Sleep) so the benchmark isolates
+// the engine's own synchronization and copying overhead — exactly the
+// part that `Config.CPUSlots` cannot buy back when the node serializes
+// every operation behind one mutex.
+//
+// Run with:
+//
+//	go test ./internal/cluster -bench BenchmarkNode -benchtime 1x -count 3 -benchmem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+const (
+	benchDocs    = 4096
+	benchBatch   = 64
+	benchFanout  = 8 // parallel clients per GOMAXPROCS
+	benchWidFans = 64
+)
+
+func benchDocID(i int) string { return fmt.Sprintf("doc%05d", i) }
+
+// zeroCostConfig builds a replica-set config whose simulated costs are
+// all negative: Sleep(d<=0) returns immediately, so the benchmark
+// measures engine overhead, not modeled service time.
+func zeroCostConfig(slots int) Config {
+	return Config{
+		Nodes:    3,
+		CPUSlots: slots,
+
+		ReadCost:    -1,
+		WriteCost:   -1,
+		ApplyCost:   -1,
+		StatusCost:  -1,
+		GetMoreCost: -1,
+		CostJitter:  -1,
+
+		RTTSameZone:        -1,
+		RTTCrossZoneBase:   -1,
+		RTTCrossZoneSpread: -1,
+		RTTJitter:          -1,
+	}
+}
+
+// benchReplicaSet builds a real-time replica set preloaded with
+// benchDocs order-like documents (nested line subdocuments, the shape
+// whose deep clones dominate the baseline read path).
+func benchReplicaSet(b *testing.B, slots int) (*sim.RealtimeEnv, *ReplicaSet) {
+	b.Helper()
+	env := sim.NewRealtimeEnv(1)
+	rs := New(env, zeroCostConfig(slots))
+	err := rs.Bootstrap(func(s *storage.Store) error {
+		c := s.C("bench")
+		if _, err := c.CreateIndex("w_id", false, "w_id"); err != nil {
+			return err
+		}
+		for i := 0; i < benchDocs; i++ {
+			lines := make([]any, 8)
+			for j := range lines {
+				lines[j] = storage.D{
+					"i_id":   int64(j),
+					"qty":    int64(5),
+					"amount": 3.14,
+					"info":   "abcdefghijklmnopqrstuvwx",
+				}
+			}
+			if err := c.Insert(storage.D{
+				"_id":         benchDocID(i),
+				"w_id":        int64(i % benchWidFans),
+				"val":         int64(i),
+				"order_lines": lines,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env, rs
+}
+
+// BenchmarkNodeConcurrentBatchReads hammers one node with concurrent
+// 64-document batch reads — the YCSB/TPC-C hot-path shape. Per-node
+// read throughput (reads/s) is the headline PR 3 number.
+func BenchmarkNodeConcurrentBatchReads(b *testing.B) {
+	env, rs := benchReplicaSet(b, 8)
+	defer env.Shutdown()
+	var seed atomic.Int64
+	b.SetParallelism(benchFanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := env.Adhoc("bench-reader")
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		ids := make([]string, benchBatch)
+		for pb.Next() {
+			for i := range ids {
+				ids[i] = benchDocID(rng.Intn(benchDocs))
+			}
+			_, err := rs.ExecRead(p, 0, func(v ReadView) (any, error) {
+				docs := v.FindManyByID("bench", ids)
+				if len(docs) != benchBatch {
+					return nil, errors.New("bench: missing docs")
+				}
+				return nil, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+}
+
+// BenchmarkNodeConcurrentIndexScans runs concurrent secondary-index
+// range scans (~benchDocs/benchWidFans documents each), the Stock
+// Level / OrderStatus shape.
+func BenchmarkNodeConcurrentIndexScans(b *testing.B) {
+	env, rs := benchReplicaSet(b, 8)
+	defer env.Shutdown()
+	var seed atomic.Int64
+	b.SetParallelism(benchFanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := env.Adhoc("bench-scanner")
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			w := int64(rng.Intn(benchWidFans))
+			_, err := rs.ExecRead(p, 0, func(v ReadView) (any, error) {
+				docs := v.Find("bench", storage.Filter{"w_id": storage.Eq(w)}, 0)
+				if len(docs) == 0 {
+					return nil, errors.New("bench: empty scan")
+				}
+				return nil, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "scans/s")
+}
+
+// BenchmarkNodeReadsUnderWrites measures read throughput at the
+// primary while a closed-loop writer keeps committing — the
+// reader-vs-writer interference the coarse node mutex maximizes.
+func BenchmarkNodeReadsUnderWrites(b *testing.B) {
+	env, rs := benchReplicaSet(b, 8)
+	defer env.Shutdown()
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		p := env.Adhoc("bench-writer")
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			_, _ = rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+				return nil, tx.Set("bench", benchDocID(i%benchDocs),
+					storage.D{"val": int64(i)})
+			})
+		}
+	}()
+	var seed atomic.Int64
+	b.SetParallelism(benchFanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := env.Adhoc("bench-reader")
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		ids := make([]string, benchBatch)
+		for pb.Next() {
+			for i := range ids {
+				ids[i] = benchDocID(rng.Intn(benchDocs))
+			}
+			_, err := rs.ExecRead(p, 0, func(v ReadView) (any, error) {
+				v.FindManyByID("bench", ids)
+				return nil, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
+	close(stop)
+	<-writerDone
+}

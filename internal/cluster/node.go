@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"decongestant/internal/obs"
@@ -33,10 +34,16 @@ type Node struct {
 	// member's progress advances, releasing write-concern waiters.
 	knownGate sim.Gate
 
-	// mu guards all fields below. Virtual-time execution is
-	// single-threaded so the mutex is free there; the real-time env
-	// needs it.
-	mu            sync.Mutex
+	// mu guards all fields below with a reader-writer scheme: read
+	// operations (execRead bodies, status snapshots, progress
+	// accessors) hold the read lock and run in parallel on the
+	// real-time env, while commits, oplog application and failover
+	// catch-up take the write lock. Virtual-time execution is
+	// single-threaded, so there the lock is always uncontended and the
+	// scheme costs nothing. The lock is never held across a blocking
+	// environment primitive (Sleep/Acquire/Wait), which keeps
+	// virtual-time runs deterministic and deadlock-free.
+	mu            sync.RWMutex
 	store         *storage.Store
 	log           *oplog.Log
 	lastApplied   oplog.OpTime
@@ -46,7 +53,9 @@ type Node struct {
 	checkpointing bool
 	down          bool
 
-	stats NodeStats
+	// stats are atomic so operation counting never forces a read path
+	// onto the exclusive lock.
+	stats nodeCounters
 
 	// Registry instruments, labeled with this node's id. Counters and
 	// gauges are atomic; the histograms carry their own mutex — none
@@ -60,7 +69,8 @@ type Node struct {
 	obsOplogLag  *obs.Gauge // seconds behind the primary (secondary side)
 }
 
-// NodeStats counts the operations a node has serviced.
+// NodeStats is a point-in-time snapshot of the operations a node has
+// serviced, as returned by Node.Stats.
 type NodeStats struct {
 	Reads          int64
 	Writes         int64
@@ -69,6 +79,17 @@ type NodeStats struct {
 	Applied        int64
 	Checkpoints    int64
 	Statuses       int64
+}
+
+// nodeCounters is the live, atomically-bumped form of NodeStats.
+type nodeCounters struct {
+	reads          atomic.Int64
+	writes         atomic.Int64
+	getMores       atomic.Int64
+	fetchedEntries atomic.Int64
+	applied        atomic.Int64
+	checkpoints    atomic.Int64
+	statuses       atomic.Int64
 }
 
 func newNode(rs *ReplicaSet, id int, zone string) *Node {
@@ -110,8 +131,8 @@ func (n *Node) jitterCost(d time.Duration) time.Duration {
 
 // LastApplied returns the node's own lastAppliedOpTime.
 func (n *Node) LastApplied() oplog.OpTime {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.lastApplied
 }
 
@@ -131,37 +152,46 @@ func (n *Node) setKnown(id int, ts oplog.OpTime) {
 
 // Down reports whether the node is marked unavailable.
 func (n *Node) Down() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.down
 }
 
 // Checkpointing reports whether a checkpoint is in progress.
 func (n *Node) Checkpointing() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.checkpointing
 }
 
 // OplogLast returns the OpTime of the node's newest oplog entry.
 func (n *Node) OplogLast() oplog.OpTime {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.log.Last()
 }
 
-// Stats returns a copy of the node's operation counters.
+// Stats returns a snapshot of the node's operation counters. The
+// counters are atomics, so the snapshot needs no lock and never
+// contends with the node's operation paths.
 func (n *Node) Stats() NodeStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return NodeStats{
+		Reads:          n.stats.reads.Load(),
+		Writes:         n.stats.writes.Load(),
+		GetMores:       n.stats.getMores.Load(),
+		FetchedEntries: n.stats.fetchedEntries.Load(),
+		Applied:        n.stats.applied.Load(),
+		Checkpoints:    n.stats.checkpoints.Load(),
+		Statuses:       n.stats.statuses.Load(),
+	}
 }
 
 // QueueDepth returns the number of operations waiting for a CPU slot.
 func (n *Node) QueueDepth() int { return n.cpu.Waiting() }
 
 // appendLocal mints a timestamp, applies the mutation to the local
-// store, and appends the oplog entry. Caller holds n.mu.
+// store, and appends the oplog entry. Caller holds the n.mu write
+// lock.
 func (n *Node) appendLocal(now time.Duration, build func(ts oplog.OpTime) oplog.Entry) (oplog.Entry, error) {
 	ts := n.log.NextTS(now)
 	e := build(ts)
@@ -186,20 +216,26 @@ func (n *Node) appendLocal(now time.Duration, build func(ts oplog.OpTime) oplog.
 // ExecWrite body. The in-process implementation meters work in read
 // units that translate to CPU service time; the wire client implements
 // the same interface with one network round trip per call.
+//
+// Every document an in-process view returns is a shared immutable
+// snapshot of committed state (the store is copy-on-write): results
+// are strictly read-only, and a caller that wants to modify one clones
+// it first. The historical *Shared variants, which predate
+// copy-on-write storage, are retained as aliases so existing call
+// sites keep compiling; new code can use either form.
 type ReadView interface {
-	// FindByID looks up one document by _id, returning a detached copy.
+	// FindByID looks up one document by _id. The result is a shared
+	// immutable snapshot — read-only for the caller.
 	FindByID(collection, id string) (storage.Document, bool)
-	// FindByIDShared looks up one document without the defensive copy;
-	// the caller must treat the result as strictly read-only.
+	// FindByIDShared is an alias of FindByID (see the interface note).
 	FindByIDShared(collection, id string) (storage.Document, bool)
 	// FindManyByID batch-fetches documents by _id.
 	FindManyByID(collection string, ids []string) []storage.Document
-	// FindManyByIDShared is FindManyByID without defensive copies; the
-	// results are the store's live documents and must not be modified.
+	// FindManyByIDShared is an alias of FindManyByID.
 	FindManyByIDShared(collection string, ids []string) []storage.Document
 	// Find runs a filtered query (limit 0 = unlimited).
 	Find(collection string, f storage.Filter, limit int) []storage.Document
-	// FindShared is Find without defensive copies (read-only results).
+	// FindShared is an alias of Find.
 	FindShared(collection string, f storage.Filter, limit int) []storage.Document
 	// Count counts matching documents.
 	Count(collection string, f storage.Filter) int
@@ -226,19 +262,20 @@ type localReadView struct {
 	readUnits int
 }
 
-// FindByID looks up one document (1 read unit).
+// FindByID looks up one document (1 read unit). The result is a
+// shared immutable snapshot — the copy-on-write store makes the
+// defensive deep copy unnecessary, keeping point reads off the
+// allocator.
 func (v *localReadView) FindByID(collection, id string) (storage.Document, bool) {
 	v.readUnits++
 	return v.node.store.C(collection).FindByID(id)
 }
 
-// FindByIDShared looks up one document without the defensive copy
-// (1 read unit). The returned document is the store's live value: the
-// caller must treat it as strictly read-only. Hot read paths (YCSB
-// point reads, S-workload probes) use this to stay off the allocator.
+// FindByIDShared is an alias of FindByID, retained from the
+// pre-copy-on-write API.
 func (v *localReadView) FindByIDShared(collection, id string) (storage.Document, bool) {
 	v.readUnits++
-	return v.node.store.C(collection).FindByIDShared(id)
+	return v.node.store.C(collection).FindByID(id)
 }
 
 // Find runs a filtered query; it costs 1 unit plus one per four
@@ -265,25 +302,16 @@ func (v *localReadView) FindManyByID(collection string, ids []string) []storage.
 	return out
 }
 
-// FindManyByIDShared batch-fetches without copying (same cost as
-// FindManyByID; the savings are allocation, not simulated service).
+// FindManyByIDShared is an alias of FindManyByID, retained from the
+// pre-copy-on-write API.
 func (v *localReadView) FindManyByIDShared(collection string, ids []string) []storage.Document {
-	c := v.node.store.C(collection)
-	out := make([]storage.Document, 0, len(ids))
-	for _, id := range ids {
-		if d, ok := c.FindByIDShared(id); ok {
-			out = append(out, d)
-		}
-	}
-	v.readUnits += 1 + (len(ids)+7)/8
-	return out
+	return v.FindManyByID(collection, ids)
 }
 
-// FindShared runs a filtered query without copying the results.
+// FindShared is an alias of Find, retained from the pre-copy-on-write
+// API.
 func (v *localReadView) FindShared(collection string, f storage.Filter, limit int) []storage.Document {
-	docs := v.node.store.C(collection).FindShared(f, limit)
-	v.readUnits += 1 + len(docs)/4
-	return docs
+	return v.Find(collection, f, limit)
 }
 
 // Count counts matching documents (1 unit plus one per 4 matches).

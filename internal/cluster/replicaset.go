@@ -147,10 +147,14 @@ func (n *Node) execRead(p sim.Proc, fn func(v ReadView) (any, error)) (any, erro
 	n.obsQueueWait.Observe(p.Now() - qstart)
 	n.obsReads.Inc(1)
 	v := &localReadView{node: n}
-	n.mu.Lock()
+	// Read lock only: concurrent reads on this node run in parallel
+	// (bounded by the CPU slots acquired above); they are excluded only
+	// by a committing write or an oplog batch apply, which guarantees a
+	// read never observes a half-applied transaction.
+	n.mu.RLock()
 	res, err := fn(v)
-	n.stats.Reads++
-	n.mu.Unlock()
+	n.mu.RUnlock()
+	n.stats.reads.Add(1)
 	units := v.readUnits
 	if units < 1 {
 		units = 1
@@ -189,10 +193,14 @@ func (n *Node) execWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, er
 	n.obsQueueWait.Observe(p.Now() - qstart)
 	n.obsWrites.Inc(1)
 	tx := &localWriteTxn{localReadView: localReadView{node: n}}
-	n.mu.Lock()
+	// The transaction body only reads committed state (mutations are
+	// buffered until commit), so it runs under the read lock and in
+	// parallel with other reads and write bodies; the commit below
+	// takes the write lock.
+	n.mu.RLock()
 	res, err := fn(tx)
-	n.stats.Writes++
-	n.mu.Unlock()
+	n.mu.RUnlock()
+	n.stats.writes.Add(1)
 	cost := time.Duration(tx.readUnits)*n.rs.cfg.ReadCost +
 		time.Duration(tx.writeOps())*n.rs.cfg.WriteCost
 	if cost < n.rs.cfg.WriteCost {
@@ -214,8 +222,8 @@ func (n *Node) execWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, er
 
 // knownMaxLagSecs is the primary's view of its worst secondary's lag.
 func (n *Node) knownMaxLagSecs() int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	var worst int64
 	for id, ts := range n.known {
 		if id == n.ID {
@@ -314,10 +322,13 @@ func (rs *ReplicaSet) ServerStatus(p sim.Proc, nodeID int) Status {
 }
 
 func (n *Node) statusSnapshot() Status {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.stats.Statuses++
-	st := Status{From: n.ID, Primary: n.rs.primaryID}
+	n.stats.statuses.Add(1)
+	// Read the primary id through its own lock before taking n.mu so the
+	// two locks never nest (replica set → node is the only legal order).
+	primary := n.rs.PrimaryID()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	st := Status{From: n.ID, Primary: primary}
 	for id := range n.known {
 		applied := n.known[id]
 		if id == n.ID {
@@ -325,7 +336,7 @@ func (n *Node) statusSnapshot() Status {
 		}
 		st.Members = append(st.Members, MemberStatus{
 			ID:      id,
-			Primary: id == n.rs.primaryID,
+			Primary: id == primary,
 			Applied: applied,
 		})
 	}
@@ -354,10 +365,12 @@ func (rs *ReplicaSet) Failover(p sim.Proc) int {
 		return oldID
 	}
 	winner := rs.nodes[best]
-	// Catch-up: copy and apply the entries the winner is missing.
-	old.mu.Lock()
+	// Catch-up: copy and apply the entries the winner is missing. The
+	// scan only reads the old primary's oplog, so the read lock is
+	// enough; reads there keep flowing during the election.
+	old.mu.RLock()
 	missing := old.log.ScanAfter(bestTS, 0)
-	old.mu.Unlock()
+	old.mu.RUnlock()
 	winner.mu.Lock()
 	for _, e := range missing {
 		if err := e.Apply(winner.store); err == nil {

@@ -44,9 +44,9 @@ func (n *Node) pullerLoop(p sim.Proc) {
 			continue
 		}
 		prim := rs.Primary()
-		n.mu.Lock()
+		n.mu.RLock()
 		after := n.log.Last()
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		rs.net.Travel(p, n.Zone, prim.Zone)
 		batch := prim.serveGetMore(p, n.ID, after)
 		rs.net.Travel(p, prim.Zone, n.Zone)
@@ -89,7 +89,7 @@ func (n *Node) pullerLoop(p sim.Proc) {
 				}
 				n.lastApplied = e.TS
 				n.known[n.ID] = e.TS
-				n.stats.Applied++
+				n.stats.applied.Add(1)
 				if e.Kind != oplog.KindNoop {
 					n.dirtyBytes += entryBytes(e)
 				}
@@ -125,9 +125,9 @@ func (n *Node) serveGetMore(p sim.Proc, from int, after oplog.OpTime) []oplog.En
 	n.obsQueueWait.Observe(total - cost)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.stats.GetMores++
+	n.stats.getMores.Add(1)
 	batch := n.log.ScanAfter(after, n.rs.cfg.BatchMax)
-	n.stats.FetchedEntries += int64(len(batch))
+	n.stats.fetchedEntries.Add(int64(len(batch)))
 	pos := after
 	if len(batch) > 0 {
 		pos = batch[len(batch)-1].TS
@@ -203,8 +203,8 @@ func (n *Node) checkpointLoop(p sim.Proc) {
 		}
 		n.mu.Lock()
 		n.checkpointing = true
-		n.stats.Checkpoints++
 		n.mu.Unlock()
+		n.stats.checkpoints.Add(1)
 		n.obsCkpts.Inc(1)
 		p.Sleep(dur)
 		n.mu.Lock()

@@ -52,8 +52,8 @@ func (rs *ReplicaSet) ExecWriteConcern(p sim.Proc, wc WriteConcern, fn func(tx W
 // countKnownAtLeast reports how many members this node knows to have
 // applied at least ts (itself included via its own lastApplied).
 func (n *Node) countKnownAtLeast(ts oplog.OpTime) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	count := 0
 	for id, known := range n.known {
 		applied := known
@@ -71,11 +71,11 @@ func (n *Node) countKnownAtLeast(ts oplog.OpTime) int {
 // majority of members to have applied — MongoDB's majority commit
 // point, the basis of read concern majority.
 func (n *Node) MajorityCommitPoint() oplog.OpTime {
-	n.mu.Lock()
+	n.mu.RLock()
 	times := make([]oplog.OpTime, len(n.known))
 	copy(times, n.known)
 	times[n.ID] = n.lastApplied
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	// Sort descending; the (majority-1) index is the newest OpTime
 	// that at least a majority have reached.
 	sort.Slice(times, func(i, j int) bool { return times[j].Before(times[i]) })

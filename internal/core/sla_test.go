@@ -113,7 +113,7 @@ func TestSLAEndToEndUtility(t *testing.T) {
 		env.Spawn("bg", func(p sim.Proc) {
 			for {
 				sys.Client.Read(p, driver.ReadOptions{Pref: driver.Primary}, func(v cluster.ReadView) (any, error) {
-					v.FindByIDShared("kv", "k")
+					v.FindByID("kv", "k")
 					return nil, nil
 				})
 			}
@@ -122,7 +122,7 @@ func TestSLAEndToEndUtility(t *testing.T) {
 	env.Spawn("sla-client", func(p sim.Proc) {
 		for i := 0; i < 400; i++ {
 			if _, _, _, err := r.Read(p, func(v cluster.ReadView) (any, error) {
-				v.FindByIDShared("kv", "k")
+				v.FindByID("kv", "k")
 				return nil, nil
 			}); err != nil {
 				t.Errorf("sla read: %v", err)

@@ -3,14 +3,26 @@ package storage
 import (
 	"cmp"
 	"fmt"
+	"sync"
 
 	"decongestant/internal/btree"
 )
 
 // Collection is a set of documents keyed by their _id, with optional
 // secondary compound indexes.
+//
+// Concurrency: a Collection is safe for concurrent use. An RWMutex
+// lets any number of readers scan while writers mutate exclusively.
+// Committed documents are immutable — mutating operations build a
+// fresh document and swap the pointer (copy-on-write) — so read
+// methods return the stored documents themselves, without defensive
+// copies, and a reader's result set stays a consistent snapshot even
+// while writers advance the collection. Callers must therefore treat
+// every returned Document as strictly read-only; a caller that wants
+// to modify a result clones it first.
 type Collection struct {
 	name    string
+	mu      sync.RWMutex
 	docs    *btree.Tree[string, Document]
 	indexes map[string]*Index
 }
@@ -35,7 +47,12 @@ func newCollection(name string) *Collection {
 
 // Name returns the collection name; Len the number of documents.
 func (c *Collection) Name() string { return c.name }
-func (c *Collection) Len() int     { return c.docs.Len() }
+
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docs.Len()
+}
 
 // CreateIndex adds a compound index over the given field paths and
 // backfills it from existing documents.
@@ -43,6 +60,8 @@ func (c *Collection) CreateIndex(name string, unique bool, fields ...string) (*I
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("storage: index %q has no fields", name)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.indexes[name]; exists {
 		return nil, fmt.Errorf("storage: index %q already exists on %s", name, c.name)
 	}
@@ -67,8 +86,18 @@ func (c *Collection) CreateIndex(name string, unique bool, fields ...string) (*I
 	return idx, nil
 }
 
-// Indexes returns the collection's secondary indexes by name.
-func (c *Collection) Indexes() map[string]*Index { return c.indexes }
+// Indexes returns a copy of the collection's secondary-index map, so
+// callers can enumerate indexes without racing concurrent CreateIndex
+// calls or mutating the collection's own bookkeeping.
+func (c *Collection) Indexes() map[string]*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]*Index, len(c.indexes))
+	for name, idx := range c.indexes {
+		out[name] = idx
+	}
+	return out
+}
 
 func (idx *Index) keyFor(d Document, id string) (string, string) {
 	var enc []byte
@@ -101,8 +130,6 @@ func (idx *Index) remove(d Document, id string) {
 	idx.tree.Delete(key)
 }
 
-func (idx *Index) removeKey(key string) { idx.tree.Delete(key) }
-
 // Insert adds a document. The document must carry a string _id that is
 // not already present. The stored copy is normalized and detached from
 // the caller's value.
@@ -115,28 +142,30 @@ func (c *Collection) Insert(doc Document) error {
 	if !ok || id == "" {
 		return fmt.Errorf("storage: insert into %s requires a string _id", c.name)
 	}
+	stored := norm.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.docs.Get(id); exists {
 		return fmt.Errorf("storage: duplicate _id %q in %s", id, c.name)
 	}
-	stored := norm.Clone()
+	var added []*Index
 	for _, idx := range c.indexes {
 		if err := idx.insert(stored, id); err != nil {
-			// Roll back entries added so far.
-			for _, undo := range c.indexes {
-				if undo == idx {
-					break
-				}
+			for _, undo := range added {
 				undo.remove(stored, id)
 			}
 			return err
 		}
+		added = append(added, idx)
 	}
 	c.docs.Set(id, stored)
 	return nil
 }
 
 // Upsert inserts the document or fully replaces an existing one with
-// the same _id. Used by idempotent oplog application.
+// the same _id. Used by idempotent oplog application. The previous
+// committed document is left untouched (copy-on-write): readers that
+// already hold it keep a consistent snapshot.
 func (c *Collection) Upsert(doc Document) error {
 	norm, err := doc.Normalized()
 	if err != nil {
@@ -146,12 +175,14 @@ func (c *Collection) Upsert(doc Document) error {
 	if !ok || id == "" {
 		return fmt.Errorf("storage: upsert into %s requires a string _id", c.name)
 	}
+	stored := norm.Clone()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if old, exists := c.docs.Get(id); exists {
 		for _, idx := range c.indexes {
 			idx.remove(old, id)
 		}
 	}
-	stored := norm.Clone()
 	for _, idx := range c.indexes {
 		if err := idx.insert(stored, id); err != nil {
 			return err
@@ -163,58 +194,49 @@ func (c *Collection) Upsert(doc Document) error {
 
 // ApplySet merges the given fields into the document with the given
 // _id, creating it if absent. The operation is idempotent: re-applying
-// the same set yields the same state. It returns the post-image as a
-// live (read-only) view of the stored document — this is the write
-// hot path, so it avoids defensive copies; callers needing a detached
-// document clone it themselves.
+// the same set yields the same state. Copy-on-write: the merge builds
+// a fresh document (sharing the unchanged values of the old one, which
+// are immutable) and swaps the pointer, so concurrent readers holding
+// the pre-image never observe the mutation. It returns the committed
+// post-image, which callers must treat as read-only.
 func (c *Collection) ApplySet(id string, fields Document) (Document, error) {
 	norm, err := fields.Normalized()
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	old, exists := c.docs.Get(id)
-	if !exists {
-		merged := Document{"_id": id}
-		for k, v := range norm {
-			if k == "_id" {
-				continue
-			}
-			merged[k] = cloneValue(v)
-		}
-		for _, idx := range c.indexes {
-			if err := idx.insert(merged, id); err != nil {
-				return nil, err
-			}
-		}
-		c.docs.Set(id, merged)
-		return merged, nil
+	merged := make(Document, len(old)+len(norm))
+	for k, v := range old {
+		merged[k] = v
 	}
-	// Capture the old index keys before mutating in place.
-	oldKeys := make([]string, 0, len(c.indexes))
-	idxs := make([]*Index, 0, len(c.indexes))
-	for _, idx := range c.indexes {
-		_, key := idx.keyFor(old, id)
-		oldKeys = append(oldKeys, key)
-		idxs = append(idxs, idx)
-	}
+	merged["_id"] = id
 	for k, v := range norm {
 		if k == "_id" {
 			continue
 		}
-		old[k] = cloneValue(v)
+		merged[k] = cloneValue(v)
 	}
-	for i, idx := range idxs {
-		idx.removeKey(oldKeys[i])
-		if err := idx.insert(old, id); err != nil {
+	if exists {
+		for _, idx := range c.indexes {
+			idx.remove(old, id)
+		}
+	}
+	for _, idx := range c.indexes {
+		if err := idx.insert(merged, id); err != nil {
 			return nil, err
 		}
 	}
-	return old, nil
+	c.docs.Set(id, merged)
+	return merged, nil
 }
 
 // Delete removes the document with the given _id; it reports whether a
 // document was removed.
 func (c *Collection) Delete(id string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	doc, exists := c.docs.Get(id)
 	if !exists {
 		return false
@@ -226,53 +248,32 @@ func (c *Collection) Delete(id string) bool {
 	return true
 }
 
-// FindByID returns a detached copy of the document with the given _id.
+// FindByID returns the committed document with the given _id. The
+// result is a shared immutable snapshot (committed documents are never
+// mutated in place); the caller must not modify it, or anything
+// reachable from it, and clones it first if it needs to.
 func (c *Collection) FindByID(id string) (Document, bool) {
-	d, ok := c.docs.Get(id)
-	if !ok {
-		return nil, false
-	}
-	return d.Clone(), true
-}
-
-// FindByIDShared returns the stored document without copying. The
-// caller must not modify it (or anything reachable from it).
-func (c *Collection) FindByIDShared(id string) (Document, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.docs.Get(id)
 }
 
-// Find returns detached copies of documents matching the filter, up to
-// limit (0 = no limit). It uses a secondary index when the filter has
-// equality conditions on an index's leading fields (optionally followed
-// by one range condition on the next field); otherwise it scans.
-func (c *Collection) Find(f Filter, limit int) []Document {
-	var out []Document
-	emit := func(d Document) bool {
-		if f.Matches(d) {
-			out = append(out, d.Clone())
-			if limit > 0 && len(out) >= limit {
-				return false
-			}
-		}
-		return true
-	}
-	if idx, lo, hi := c.planIndex(f); idx != nil {
-		idx.tree.Range(lo, hi, func(k, id string) bool {
-			d, ok := c.docs.Get(id)
-			if !ok {
-				return true
-			}
-			return emit(d)
-		})
-		return out
-	}
-	c.docs.AscendAll(func(id string, d Document) bool { return emit(d) })
-	return out
+// FindByIDShared is an alias of FindByID, kept for callers written
+// against the pre-copy-on-write API where only this variant skipped
+// the defensive deep copy.
+func (c *Collection) FindByIDShared(id string) (Document, bool) {
+	return c.FindByID(id)
 }
 
-// FindShared is Find without the defensive copies: results are the
-// stored documents themselves and must be treated as read-only.
-func (c *Collection) FindShared(f Filter, limit int) []Document {
+// Find returns the committed documents matching the filter, up to
+// limit (0 = no limit). It uses a secondary index when the filter has
+// equality conditions on an index's leading fields (optionally followed
+// by one range condition on the next field); otherwise it scans. The
+// results are shared immutable snapshots — strictly read-only for the
+// caller.
+func (c *Collection) Find(f Filter, limit int) []Document {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var out []Document
 	emit := func(d Document) bool {
 		if f.Matches(d) {
@@ -297,8 +298,16 @@ func (c *Collection) FindShared(f Filter, limit int) []Document {
 	return out
 }
 
+// FindShared is an alias of Find, kept for callers written against the
+// pre-copy-on-write API.
+func (c *Collection) FindShared(f Filter, limit int) []Document {
+	return c.Find(f, limit)
+}
+
 // Count returns the number of documents matching the filter.
 func (c *Collection) Count(f Filter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	n := 0
 	if idx, lo, hi := c.planIndex(f); idx != nil {
 		idx.tree.Range(lo, hi, func(k, id string) bool {
@@ -319,7 +328,7 @@ func (c *Collection) Count(f Filter) int {
 }
 
 // planIndex picks an index usable for the filter and returns the scan
-// bounds, or nil if none applies.
+// bounds, or nil if none applies. Caller holds c.mu (read or write).
 func (c *Collection) planIndex(f Filter) (*Index, string, string) {
 	var best *Index
 	var bestLo, bestHi string
@@ -382,5 +391,7 @@ func (c *Collection) planIndex(f Filter) (*Index, string, string) {
 
 // ScanIDs iterates document ids in _id order, for diagnostics/tests.
 func (c *Collection) ScanIDs(fn func(id string) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	c.docs.AscendAll(func(id string, d Document) bool { return fn(id) })
 }

@@ -44,10 +44,32 @@ func TestStoredCopyDetached(t *testing.T) {
 	if got.Int("v") != 1 || got.Doc("nested").Int("a") != 1 {
 		t.Fatal("stored document aliases caller value")
 	}
-	got["v"] = int64(777)
-	again, _ := c.FindByID("x")
-	if again.Int("v") != 1 {
-		t.Fatal("returned document aliases stored value")
+}
+
+func TestCopyOnWriteSnapshots(t *testing.T) {
+	c := NewStore().C("c")
+	if err := c.Insert(D{"_id": "x", "v": 1, "nested": D{"a": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// A reader's snapshot must survive later writes: mutations build a
+	// fresh document and swap the pointer rather than editing in place.
+	snap, _ := c.FindByID("x")
+	if _, err := c.ApplySet("x", D{"v": 2, "nested": D{"a": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Int("v") != 1 || snap.Doc("nested").Int("a") != 1 {
+		t.Fatalf("snapshot changed under a writer: %v", snap)
+	}
+	cur, _ := c.FindByID("x")
+	if cur.Int("v") != 2 || cur.Doc("nested").Int("a") != 2 {
+		t.Fatalf("post-write state wrong: %v", cur)
+	}
+	// Upsert replacement likewise leaves the old snapshot untouched.
+	if err := c.Upsert(D{"_id": "x", "v": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if cur.Int("v") != 2 {
+		t.Fatalf("upsert mutated a committed document: %v", cur)
 	}
 }
 

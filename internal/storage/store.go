@@ -3,10 +3,15 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
-// Store is a named set of collections: one node's local database.
+// Store is a named set of collections: one node's local database. It
+// is safe for concurrent use: the collection map is guarded by an
+// RWMutex (C's fast path is a read lock), and each Collection carries
+// its own reader-writer synchronization.
 type Store struct {
+	mu          sync.RWMutex
 	collections map[string]*Collection
 }
 
@@ -17,6 +22,8 @@ func NewStore() *Store {
 
 // Create makes a new, empty collection. It errors if one exists.
 func (s *Store) Create(name string) (*Collection, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.collections[name]; ok {
 		return nil, fmt.Errorf("storage: collection %q already exists", name)
 	}
@@ -27,22 +34,34 @@ func (s *Store) Create(name string) (*Collection, error) {
 
 // C returns the collection with the given name, creating it if needed.
 func (s *Store) C(name string) *Collection {
+	s.mu.RLock()
+	c, ok := s.collections[name]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if c, ok := s.collections[name]; ok {
 		return c
 	}
-	c := newCollection(name)
+	c = newCollection(name)
 	s.collections[name] = c
 	return c
 }
 
 // Lookup returns the named collection without creating it.
 func (s *Store) Lookup(name string) (*Collection, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c, ok := s.collections[name]
 	return c, ok
 }
 
 // Names returns the collection names in sorted order.
 func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	names := make([]string, 0, len(s.collections))
 	for n := range s.collections {
 		names = append(names, n)
@@ -53,6 +72,8 @@ func (s *Store) Names() []string {
 
 // TotalDocs returns the number of documents across all collections.
 func (s *Store) TotalDocs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for _, c := range s.collections {
 		n += c.Len()

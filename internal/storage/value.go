@@ -5,10 +5,12 @@
 // selection, and a compact binary ("BSON-lite") document encoding used
 // for oplog payloads and deep copies.
 //
-// The store itself is single-threaded by design — in the simulation
-// each node's store is only touched by that node's processes, which the
-// sim kernel runs one at a time. The wire server wraps access in the
-// node's resource discipline.
+// The store is safe for concurrent use: collections carry
+// reader-writer locks, and committed documents are immutable
+// (mutations are copy-on-write — they build a fresh document and swap
+// the pointer), so queries return shared snapshots without defensive
+// copies. Every Document obtained from a collection is strictly
+// read-only; clone before modifying.
 package storage
 
 import (

@@ -1,0 +1,109 @@
+package wire
+
+// Wire round-trip benchmarks over a real TCP loopback socket. The
+// PR 3 contrast: the serial read→dispatch→write connection loop (and
+// the client's one-connection-per-caller pool) versus per-connection
+// request pipelining with id-matched responses.
+//
+//	go test ./internal/wire -bench BenchmarkWire -benchtime 1x -count 3 -benchmem
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+const wireBenchDocs = 1024
+
+func startBenchServer(b *testing.B) (string, func()) {
+	b.Helper()
+	env := sim.NewRealtimeEnv(1)
+	cfg := cluster.Config{
+		Nodes:    3,
+		CPUSlots: 8,
+
+		ReadCost:    -1,
+		WriteCost:   -1,
+		ApplyCost:   -1,
+		StatusCost:  -1,
+		GetMoreCost: -1,
+		CostJitter:  -1,
+
+		RTTSameZone:        -1,
+		RTTCrossZoneBase:   -1,
+		RTTCrossZoneSpread: -1,
+		RTTJitter:          -1,
+	}
+	rs := cluster.New(env, cfg)
+	err := rs.Bootstrap(func(s *storage.Store) error {
+		c := s.C("bench")
+		for i := 0; i < wireBenchDocs; i++ {
+			if err := c.Insert(storage.D{
+				"_id": fmt.Sprintf("doc%05d", i),
+				"val": int64(i),
+				"pad": "abcdefghijklmnopqrstuvwxyz",
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(env, rs, nil)
+	ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+	if lerr != nil {
+		b.Fatal(lerr)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() {
+		srv.Close()
+		env.Shutdown()
+	}
+}
+
+// BenchmarkWireConcurrentPointReads issues concurrent single-document
+// reads from many goroutines through one Client. Round-trips/sec is
+// the PR 3 wire-layer headline.
+func BenchmarkWireConcurrentPointReads(b *testing.B) {
+	addr, stop := startBenchServer(b)
+	defer stop()
+	cl, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	var seed atomic.Int64
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		n := seed.Add(1)
+		i := int(n * 7919)
+		for pb.Next() {
+			i++
+			id := fmt.Sprintf("doc%05d", i%wireBenchDocs)
+			res, err := cl.ExecRead(nil, 0, func(v cluster.ReadView) (any, error) {
+				d, ok := v.FindByID("bench", id)
+				if !ok {
+					return nil, fmt.Errorf("wire bench: %s missing", id)
+				}
+				return d, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res == nil {
+				b.Fatal("nil doc")
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rt/s")
+}

@@ -1,8 +1,8 @@
 package wire
 
 import (
+	"bufio"
 	"errors"
-	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -20,21 +20,112 @@ import (
 // driver.Conn, so driver.Client, the Read Balancer and the Router run
 // against a remote replica set exactly as they do in-process.
 //
-// Each concurrent caller borrows a TCP connection from a pool;
-// requests on one connection are serial.
+// All callers share one multiplexed TCP connection: requests are
+// pipelined onto the socket and a demux goroutine matches responses
+// back to callers by request id, so concurrent operations keep many
+// requests in flight without a connection per caller.
 type Client struct {
 	addr    string
 	nextID  atomic.Uint64
-	mu      sync.Mutex
-	idle    []*poolConn
-	topo    Topology
-	topoAt  time.Time
 	topoTTL time.Duration
-	closed  bool
+
+	mu     sync.Mutex
+	conn   *muxConn
+	topo   Topology
+	topoAt time.Time
+	closed bool
 }
 
-type poolConn struct {
-	c net.Conn
+// muxConn is one multiplexed connection. Senders write frames through
+// a shared buffered writer that is flushed by the last sender in a
+// burst (flush-on-idle); the demux loop reads response frames and
+// delivers each to the caller registered under its id.
+type muxConn struct {
+	c      net.Conn
+	wmu    sync.Mutex
+	bw     *bufio.Writer
+	queued atomic.Int32 // senders in or waiting for send(); last one out flushes
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *Response
+	err     error // set once the connection dies; sticky
+}
+
+// send writes one frame. Flushing is deferred to the last queued
+// sender, so a burst of concurrent requests coalesces into one
+// syscall instead of one per frame.
+func (mc *muxConn) send(req *Request) error {
+	mc.queued.Add(1)
+	mc.wmu.Lock()
+	defer mc.wmu.Unlock()
+	err := WriteFrame(mc.bw, req)
+	if mc.queued.Add(-1) == 0 && err == nil {
+		err = mc.bw.Flush()
+	}
+	return err
+}
+
+// register files a response channel for a request id.
+func (mc *muxConn) register(id uint64) (chan *Response, error) {
+	mc.pmu.Lock()
+	defer mc.pmu.Unlock()
+	if mc.err != nil {
+		return nil, mc.err
+	}
+	ch := make(chan *Response, 1)
+	mc.pending[id] = ch
+	return ch, nil
+}
+
+// demux delivers response frames to their registered callers until the
+// connection dies, then fails every outstanding caller.
+func (mc *muxConn) demux() {
+	for {
+		var resp Response
+		if err := ReadFrame(mc.c, &resp); err != nil {
+			mc.fail(err)
+			return
+		}
+		mc.pmu.Lock()
+		ch, ok := mc.pending[resp.ID]
+		delete(mc.pending, resp.ID)
+		mc.pmu.Unlock()
+		if ok {
+			ch <- &resp
+		}
+	}
+}
+
+// fail marks the connection dead and wakes all waiting callers (their
+// channels close without a response).
+func (mc *muxConn) fail(err error) {
+	mc.c.Close()
+	mc.pmu.Lock()
+	if mc.err == nil {
+		mc.err = err
+	}
+	for id, ch := range mc.pending {
+		delete(mc.pending, id)
+		close(ch)
+	}
+	mc.pmu.Unlock()
+}
+
+// failure returns the sticky connection error.
+func (mc *muxConn) failure() error {
+	mc.pmu.Lock()
+	defer mc.pmu.Unlock()
+	if mc.err == nil {
+		return errors.New("wire: connection closed")
+	}
+	return mc.err
+}
+
+// broken reports whether the connection has died.
+func (mc *muxConn) broken() bool {
+	mc.pmu.Lock()
+	defer mc.pmu.Unlock()
+	return mc.err != nil
 }
 
 // Statically assert Client satisfies the driver's connection
@@ -53,75 +144,63 @@ func Dial(addr string) (*Client, error) {
 	return cl, nil
 }
 
-// Close releases all pooled connections.
+// Close shuts the shared connection; outstanding callers fail.
 func (cl *Client) Close() {
 	cl.mu.Lock()
-	defer cl.mu.Unlock()
 	cl.closed = true
-	for _, pc := range cl.idle {
-		pc.c.Close()
+	mc := cl.conn
+	cl.conn = nil
+	cl.mu.Unlock()
+	if mc != nil {
+		mc.fail(errors.New("wire: client closed"))
 	}
-	cl.idle = nil
 }
 
-func (cl *Client) getConn() (*poolConn, error) {
+// getMux returns the live shared connection, dialing a fresh one if
+// none exists or the previous one died.
+func (cl *Client) getMux() (*muxConn, error) {
 	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	if cl.closed {
-		cl.mu.Unlock()
 		return nil, errors.New("wire: client closed")
 	}
-	if n := len(cl.idle); n > 0 {
-		pc := cl.idle[n-1]
-		cl.idle = cl.idle[:n-1]
-		cl.mu.Unlock()
-		return pc, nil
+	if cl.conn != nil && !cl.conn.broken() {
+		return cl.conn, nil
 	}
-	cl.mu.Unlock()
 	c, err := net.Dial("tcp", cl.addr)
 	if err != nil {
 		return nil, err
 	}
-	return &poolConn{c: c}, nil
+	mc := &muxConn{c: c, bw: bufio.NewWriter(c), pending: map[uint64]chan *Response{}}
+	go mc.demux()
+	cl.conn = mc
+	return mc, nil
 }
 
-func (cl *Client) putConn(pc *poolConn, broken bool) {
-	if broken {
-		pc.c.Close()
-		return
-	}
-	cl.mu.Lock()
-	if cl.closed {
-		pc.c.Close()
-	} else {
-		cl.idle = append(cl.idle, pc)
-	}
-	cl.mu.Unlock()
-}
-
-// roundTrip sends one request and waits for its response.
+// roundTrip pipelines one request onto the shared connection and
+// waits for the response with its id.
 func (cl *Client) roundTrip(req *Request) (*Response, error) {
 	req.ID = cl.nextID.Add(1)
-	pc, err := cl.getConn()
+	mc, err := cl.getMux()
 	if err != nil {
 		return nil, err
 	}
-	if err := WriteFrame(pc.c, req); err != nil {
-		cl.putConn(pc, true)
+	ch, err := mc.register(req.ID)
+	if err != nil {
 		return nil, err
 	}
-	var resp Response
-	if err := ReadFrame(pc.c, &resp); err != nil {
-		cl.putConn(pc, true)
+	if err := mc.send(req); err != nil {
+		mc.fail(err)
 		return nil, err
 	}
-	cl.putConn(pc, false)
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("wire: response id %d for request %d", resp.ID, req.ID)
+	resp, ok := <-ch
+	if !ok {
+		return nil, mc.failure()
 	}
 	if resp.Err != "" {
-		return &resp, errors.New(resp.Err)
+		return resp, errors.New(resp.Err)
 	}
-	return &resp, nil
+	return resp, nil
 }
 
 func (cl *Client) refreshTopology() error {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -16,8 +17,10 @@ import (
 )
 
 // Server exposes a replica set (running on a real-time environment)
-// over TCP. Each connection handles requests serially; clients open
-// one connection per concurrent caller.
+// over TCP. Connections are pipelined: a reader goroutine decodes
+// frames, each request is dispatched on its own proc, and id-tagged
+// responses stream back through a buffered writer in completion
+// order — so one socket carries many requests in flight.
 type Server struct {
 	env *sim.RealtimeEnv
 	rs  *cluster.ReplicaSet
@@ -111,6 +114,12 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 }
 
+// handle serves one connection with request pipelining: the reader
+// loop decodes frames and hands each request to its own dispatch
+// goroutine, so a slow operation (a blocked afterClusterTime read, a
+// long scan) never holds up the requests queued behind it. Responses
+// carry the request id and return in completion order; the client
+// matches them back to callers.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -118,25 +127,70 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	proc := s.env.Adhoc("wire/conn-" + conn.RemoteAddr().String())
+	responses := make(chan *Response, 64)
+	writerDone := make(chan struct{})
+	go s.writeLoop(conn, responses, writerDone)
+	var inflight sync.WaitGroup
 	for {
 		var req Request
 		if err := ReadFrame(conn, &req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.log.Printf("wire: read from %s: %v", conn.RemoteAddr(), err)
 			}
-			return
+			break
 		}
-		count, lat := s.instruments(req.Op)
-		start := proc.Now()
-		resp := s.dispatch(proc, &req)
-		count.Inc(1)
-		lat.Observe(proc.Now() - start)
-		resp.ID = req.ID
-		if err := WriteFrame(conn, resp); err != nil {
+		r := req
+		inflight.Add(1)
+		go func() {
+			defer inflight.Done()
+			// The environment may shut down while a request is in
+			// flight; swallow the stop signal like Spawn's wrapper does.
+			defer func() {
+				if v := recover(); v != nil && !sim.ErrStopped(v) {
+					panic(v)
+				}
+			}()
+			proc := s.env.Adhoc(fmt.Sprintf("wire/req-%s-%d", conn.RemoteAddr(), r.ID))
+			count, lat := s.instruments(r.Op)
+			start := proc.Now()
+			resp := s.dispatch(proc, &r)
+			count.Inc(1)
+			lat.Observe(proc.Now() - start)
+			resp.ID = r.ID
+			responses <- resp
+		}()
+	}
+	inflight.Wait()
+	close(responses)
+	<-writerDone
+}
+
+// writeLoop is the connection's single writer: it drains completed
+// responses into a buffered writer and flushes only when no further
+// response is immediately queued, so bursts of pipelined completions
+// coalesce into fewer syscalls. On a write error it closes the
+// connection (which unblocks the reader) and keeps draining so
+// in-flight dispatchers never block on the response channel.
+func (s *Server) writeLoop(conn net.Conn, responses <-chan *Response, done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriter(conn)
+	broken := false
+	for resp := range responses {
+		if broken {
+			continue
+		}
+		err := WriteFrame(bw, resp)
+		if err == nil && len(responses) == 0 {
+			err = bw.Flush()
+		}
+		if err != nil {
 			s.log.Printf("wire: write to %s: %v", conn.RemoteAddr(), err)
-			return
+			conn.Close()
+			broken = true
 		}
+	}
+	if !broken {
+		bw.Flush()
 	}
 }
 

@@ -101,7 +101,7 @@ func (s *S) writerLoop(p sim.Proc) {
 func (s *S) readerLoop(p sim.Proc) {
 	readCell := func(pref driver.ReadPref) (int64, bool) {
 		res, _, _, err := s.client.Read(p, driver.ReadOptions{Pref: pref}, func(v cluster.ReadView) (any, error) {
-			d, ok := v.FindByIDShared(Collection, CellID)
+			d, ok := v.FindByID(Collection, CellID)
 			if !ok {
 				// Never replicated: timestamp 0 makes the staleness
 				// read as the full time since the run started.

@@ -45,7 +45,7 @@ func NewOrder(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (tim
 	now := int64(p.Now())
 
 	_, lat, err := exec.Write(p, func(tx cluster.WriteTxn) (any, error) {
-		district, ok := tx.FindByIDShared(CollDistrict, DistrictID(w, d))
+		district, ok := tx.FindByID(CollDistrict, DistrictID(w, d))
 		if !ok {
 			return nil, errors.New("tpcc: district missing")
 		}
@@ -56,11 +56,11 @@ func NewOrder(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (tim
 		lines := make([]any, 0, nItems)
 		total := 0.0
 		for i, itemID := range itemIDs {
-			item, ok := tx.FindByIDShared(CollItem, ItemID(itemID))
+			item, ok := tx.FindByID(CollItem, ItemID(itemID))
 			if !ok {
 				return nil, errRollback
 			}
-			stockDoc, ok := tx.FindByIDShared(CollStock, StockID(w, itemID))
+			stockDoc, ok := tx.FindByID(CollStock, StockID(w, itemID))
 			if !ok {
 				return nil, errors.New("tpcc: stock missing")
 			}
@@ -128,21 +128,21 @@ func Payment(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (time
 	histID := fmt.Sprintf("h_%d_%d_%d_%s", w, d, c, workload.RandString(rng, 10))
 
 	_, lat, err := exec.Write(p, func(tx cluster.WriteTxn) (any, error) {
-		wh, ok := tx.FindByIDShared(CollWarehouse, WarehouseID(w))
+		wh, ok := tx.FindByID(CollWarehouse, WarehouseID(w))
 		if !ok {
 			return nil, errors.New("tpcc: warehouse missing")
 		}
 		if err := tx.Set(CollWarehouse, WarehouseID(w), storage.D{"ytd": wh.Float("ytd") + amount}); err != nil {
 			return nil, err
 		}
-		dist, ok := tx.FindByIDShared(CollDistrict, DistrictID(w, d))
+		dist, ok := tx.FindByID(CollDistrict, DistrictID(w, d))
 		if !ok {
 			return nil, errors.New("tpcc: district missing")
 		}
 		if err := tx.Set(CollDistrict, DistrictID(w, d), storage.D{"ytd": dist.Float("ytd") + amount}); err != nil {
 			return nil, err
 		}
-		cust, ok := tx.FindByIDShared(CollCustomer, CustomerID(w, d, c))
+		cust, ok := tx.FindByID(CollCustomer, CustomerID(w, d, c))
 		if !ok {
 			return nil, errors.New("tpcc: customer missing")
 		}
@@ -169,11 +169,11 @@ func OrderStatus(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (
 	c := 1 + rng.Intn(sc.CustomersPerDistrict)
 
 	_, pref, lat, err := exec.Read(p, func(v cluster.ReadView) (any, error) {
-		cust, ok := v.FindByIDShared(CollCustomer, CustomerID(w, d, c))
+		cust, ok := v.FindByID(CollCustomer, CustomerID(w, d, c))
 		if !ok {
 			return nil, errors.New("tpcc: customer missing")
 		}
-		orders := v.FindShared(CollOrders, storage.Filter{
+		orders := v.Find(CollOrders, storage.Filter{
 			"w_id": storage.Eq(w), "d_id": storage.Eq(d), "c_id": storage.Eq(c),
 		}, 0)
 		if len(orders) == 0 {
@@ -209,12 +209,18 @@ func Delivery(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (tim
 			if !ok {
 				continue
 			}
+			// Committed documents are immutable shared snapshots: clone
+			// each line before stamping the delivery date, never write
+			// through the pointer the read returned.
 			total := 0.0
-			lines := order.Array("order_lines")
-			for _, l := range lines {
+			src := order.Array("order_lines")
+			lines := make([]any, 0, len(src))
+			for _, l := range src {
 				ld, _ := l.(storage.Document)
 				total += ld.Float("amount")
-				ld["delivery_d"] = now
+				stamped := ld.Clone()
+				stamped["delivery_d"] = now
+				lines = append(lines, stamped)
 			}
 			if err := tx.Set(CollOrders, OrderID(w, d, oID), storage.D{
 				"carrier_id":  carrier,
@@ -250,7 +256,7 @@ func StockLevel(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (d
 	threshold := 10 + rng.Intn(11)
 
 	_, pref, lat, err := exec.Read(p, func(v cluster.ReadView) (any, error) {
-		dist, ok := v.FindByIDShared(CollDistrict, DistrictID(w, d))
+		dist, ok := v.FindByID(CollDistrict, DistrictID(w, d))
 		if !ok {
 			return nil, errors.New("tpcc: district missing")
 		}
@@ -259,8 +265,9 @@ func StockLevel(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (d
 		if lo < 1 {
 			lo = 1
 		}
-		// Shared (no-copy) reads: this transaction only inspects.
-		orders := v.FindShared(CollOrders, storage.Filter{
+		// Every read returns a shared no-copy snapshot; this
+		// transaction only inspects, never mutates.
+		orders := v.Find(CollOrders, storage.Filter{
 			"w_id": storage.Eq(w), "d_id": storage.Eq(d),
 			"o_id": storage.Gte(lo),
 		}, 0)
@@ -277,7 +284,7 @@ func StockLevel(p sim.Proc, exec workload.Executor, sc Scale, rng *rand.Rand) (d
 			}
 		}
 		low := 0
-		for _, s := range v.FindManyByIDShared(CollStock, stockIDs) {
+		for _, s := range v.FindManyByID(CollStock, stockIDs) {
 			if int(s.Int("quantity")) < threshold {
 				low++
 			}

@@ -253,7 +253,7 @@ func (pl *Pool) doRead(p sim.Proc, rng *rand.Rand, spec Spec) {
 	key := pl.nextKey(rng, spec)
 	_, pref, lat, err := pl.exec.Read(p, func(v cluster.ReadView) (any, error) {
 		// Shared (no-copy) read: the result is discarded, never mutated.
-		d, _ := v.FindByIDShared(Table, key)
+		d, _ := v.FindByID(Table, key)
 		return d.Str("field0") != "", nil
 	})
 	if err == nil {
