@@ -4,7 +4,7 @@ GO ?= go
 BENCHTIME ?= 2s
 COUNT ?= 3
 
-.PHONY: all build test race bench
+.PHONY: all build test race bench bench-pr4
 
 all: build test
 
@@ -27,3 +27,13 @@ bench:
 	$(GO) test ./internal/wire -run '^$$' -bench BenchmarkWire -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr3.txt
 	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr3.txt < bench/current_pr3.txt > BENCH_PR3.json
 	@cat BENCH_PR3.json
+
+# bench-pr4 runs the PR 4 write-path benchmarks (group-committed
+# replicated writes, majority-ack latency, ring-buffer oplog
+# truncation) and rewrites BENCH_PR4.json against the recorded
+# pre-group-commit baseline in bench/baseline_pr4.txt.
+bench-pr4:
+	$(GO) test ./internal/cluster -run '^$$' -bench 'BenchmarkReplicatedWrites|BenchmarkMajorityAck' -benchtime $(BENCHTIME) -count $(COUNT) -benchmem > bench/current_pr4.txt
+	$(GO) test ./internal/oplog -run '^$$' -bench BenchmarkOplogTruncate -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr4.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr4.txt < bench/current_pr4.txt > BENCH_PR4.json
+	@cat BENCH_PR4.json

@@ -90,6 +90,18 @@ type Config struct {
 
 	// OplogCap bounds retained oplog entries (0 = unbounded).
 	OplogCap int
+	// OplogHardCap bounds the primary's oplog even against live-but-
+	// slow (or down) fetchers: when retention for the slowest member
+	// would exceed this many entries, the oldest are dropped anyway and
+	// the lagging member resyncs from a snapshot instead of the log.
+	// Zero takes 2x OplogCap; negative disables the hard cap.
+	OplogHardCap int
+
+	// DisableTailWake reverts secondaries to pure sleep-polling of the
+	// primary's oplog tail every ReplIdlePoll instead of waking on the
+	// append notification. Used by tests that assert poll-driven
+	// replication timing.
+	DisableTailWake bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -208,6 +220,11 @@ func (c Config) withDefaults() Config {
 		c.RTTJitter = d.RTTJitter
 	} else if c.RTTJitter < 0 {
 		c.RTTJitter = 0
+	}
+	if c.OplogHardCap == 0 {
+		c.OplogHardCap = 2 * c.OplogCap // 0 stays 0 (unbounded) when OplogCap is unbounded
+	} else if c.OplogHardCap < 0 {
+		c.OplogHardCap = 0
 	}
 	return c
 }

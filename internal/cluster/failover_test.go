@@ -106,6 +106,7 @@ func TestCausalReadBlocksUntilApplied(t *testing.T) {
 	defer env.Shutdown()
 	cfg := fastConfig()
 	cfg.ReplIdlePoll = 500 * time.Millisecond
+	cfg.DisableTailWake = true // this test asserts poll-driven replication latency
 	rs := New(env, cfg)
 	secID := rs.SecondaryIDs()[0]
 

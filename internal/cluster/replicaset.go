@@ -20,6 +20,11 @@ type ReplicaSet struct {
 	net     *Network
 	nodes   []*Node
 	metrics *obs.Registry
+	// realtime selects the concurrent fast paths (group commit,
+	// parallel batch appliers). The virtual-time env runs one process
+	// at a time, where those paths would only perturb the event
+	// schedule — it keeps the direct, deterministic code.
+	realtime bool
 
 	mu        sync.Mutex
 	primaryID int
@@ -29,7 +34,8 @@ type ReplicaSet struct {
 // defaults. Node 0 starts as primary.
 func New(env sim.Env, cfg Config) *ReplicaSet {
 	cfg = cfg.withDefaults()
-	rs := &ReplicaSet{env: env, cfg: cfg, net: newNetwork(env, cfg), metrics: obs.NewRegistry()}
+	_, realtime := env.(*sim.RealtimeEnv)
+	rs := &ReplicaSet{env: env, cfg: cfg, net: newNetwork(env, cfg), metrics: obs.NewRegistry(), realtime: realtime}
 	for i := 0; i < cfg.Nodes; i++ {
 		zone := cfg.Zones[i%len(cfg.Zones)]
 		rs.nodes = append(rs.nodes, newNode(rs, i, zone))
@@ -120,10 +126,7 @@ var ErrNodeDown = fmt.Errorf("cluster: node is down")
 // SetDown marks a node (un)available. Operations against a down node
 // fail; the driver's server selection avoids it.
 func (rs *ReplicaSet) SetDown(id int, down bool) {
-	n := rs.nodes[id]
-	n.mu.Lock()
-	n.down = down
-	n.mu.Unlock()
+	rs.nodes[id].down.Store(down)
 }
 
 // ExecRead runs a read-only body at the chosen node, modeling network
@@ -169,17 +172,17 @@ func (n *Node) execRead(p sim.Proc, fn func(v ReadView) (any, error)) (any, erro
 func (rs *ReplicaSet) ExecWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, error) {
 	n := rs.Primary()
 	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
-	res, err := n.execWrite(p, fn)
+	res, _, err := n.execWrite(p, fn)
 	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
 	return res, err
 }
 
-func (n *Node) execWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, error) {
+func (n *Node) execWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, oplog.OpTime, error) {
 	if n.Down() {
-		return nil, ErrNodeDown
+		return nil, oplog.Zero, ErrNodeDown
 	}
 	if n.rs.PrimaryID() != n.ID {
-		return nil, ErrNotPrimary
+		return nil, oplog.Zero, ErrNotPrimary
 	}
 	// Flow control: stall writers when known replication lag is high.
 	if lim := n.rs.cfg.FlowControlLagSecs; lim > 0 {
@@ -211,13 +214,13 @@ func (n *Node) execWrite(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, er
 	}
 	p.Sleep(n.jitterCost(cost))
 	// Commit at the end of the service time: this is when the write
-	// becomes durable and visible to replication.
-	if err == nil {
-		n.mu.Lock()
-		err = tx.commit(p.Now())
-		n.mu.Unlock()
+	// becomes durable and visible to replication. Concurrent commits
+	// group: see Node.commitStaged.
+	if err != nil {
+		return res, oplog.Zero, err
 	}
-	return res, err
+	commit, err := n.commitStaged(p, tx.muts)
+	return res, commit, err
 }
 
 // knownMaxLagSecs is the primary's view of its worst secondary's lag.
@@ -367,20 +370,41 @@ func (rs *ReplicaSet) Failover(p sim.Proc) int {
 	winner := rs.nodes[best]
 	// Catch-up: copy and apply the entries the winner is missing. The
 	// scan only reads the old primary's oplog, so the read lock is
-	// enough; reads there keep flowing during the election.
+	// enough; reads there keep flowing during the election. The batch
+	// is decoded once outside any lock, and the apply runs under the
+	// winner's applyMu so it serializes with any in-flight chunk apply
+	// from the winner's own puller.
 	old.mu.RLock()
 	missing := old.log.ScanAfter(bestTS, 0)
 	old.mu.RUnlock()
-	winner.mu.Lock()
-	for _, e := range missing {
-		if err := e.Apply(winner.store); err == nil {
-			if err := winner.log.Append(e); err == nil {
-				winner.lastApplied = e.TS
-				winner.known[winner.ID] = e.TS
-			}
-		}
+	decoded, dropped, derr := oplog.DecodeBatch(missing)
+	if dropped > 0 {
+		winner.noteApplyErrors(dropped, derr)
 	}
+	winner.applyMu.Lock()
+	winner.mu.Lock()
+	for _, e := range decoded {
+		if !winner.lastApplied.Before(e.TS) {
+			// The winner's own puller applied this entry between the
+			// bestTS snapshot and here; re-applying is redundant, not
+			// an error.
+			continue
+		}
+		if err := e.Apply(winner.store); err != nil {
+			winner.noteApplyErrors(1, err)
+			continue
+		}
+		if err := winner.log.Append(e.Entry); err != nil {
+			winner.noteApplyErrors(1, err)
+			continue
+		}
+		winner.lastApplied = e.TS
+		winner.known[winner.ID] = e.TS
+	}
+	winner.wakeAckWaitersLocked()
 	winner.mu.Unlock()
+	winner.applyMu.Unlock()
+	winner.applyGate.Broadcast()
 	rs.mu.Lock()
 	rs.primaryID = best
 	rs.mu.Unlock()
@@ -420,15 +444,13 @@ func (n *Node) execReadAfter(p sim.Proc, after oplog.OpTime, fn func(v ReadView)
 
 // ExecWriteTracked is ExecWrite that also returns the OpTime of the
 // transaction's last committed operation (Zero for empty
-// transactions) — the session's new causal token.
+// transactions) — the session's new causal token. The token is the
+// transaction's own commit OpTime, exact even when other writers
+// group-committed alongside it.
 func (rs *ReplicaSet) ExecWriteTracked(p sim.Proc, fn func(tx WriteTxn) (any, error)) (any, oplog.OpTime, error) {
 	n := rs.Primary()
 	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
-	res, err := n.execWrite(p, fn)
-	var ts oplog.OpTime
-	if err == nil {
-		ts = n.LastApplied()
-	}
+	res, ts, err := n.execWrite(p, fn)
 	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
 	return res, ts, err
 }

@@ -30,23 +30,18 @@ func (w WriteConcern) String() string {
 
 // ExecWriteConcern runs a write transaction and blocks until the
 // requested write concern is satisfied, returning the commit OpTime.
-// With WMajority the caller waits for the primary to learn — via
-// progress reports and heartbeats — that a majority has applied the
-// commit point, exactly the knowledge `serverStatus` exposes.
+// With WMajority the caller parks on a per-OpTime waiter at the
+// primary and is woken exactly when the majority commit point — which
+// the primary learns via progress reports and heartbeats — crosses the
+// commit, instead of rescanning the known table on every gossip
+// message.
 func (rs *ReplicaSet) ExecWriteConcern(p sim.Proc, wc WriteConcern, fn func(tx WriteTxn) (any, error)) (any, oplog.OpTime, error) {
 	res, commit, err := rs.ExecWriteTracked(p, fn)
 	if err != nil || wc == W1 || commit.IsZero() {
 		return res, commit, err
 	}
-	prim := rs.Primary()
-	need := rs.cfg.Nodes/2 + 1
-	for {
-		if prim.countKnownAtLeast(commit) >= need {
-			return res, commit, nil
-		}
-		// Wake on the next progress/heartbeat knowledge update.
-		prim.knownGate.Wait(p)
-	}
+	rs.Primary().awaitMajorityKnown(p, commit)
+	return res, commit, nil
 }
 
 // countKnownAtLeast reports how many members this node knows to have
@@ -54,6 +49,10 @@ func (rs *ReplicaSet) ExecWriteConcern(p sim.Proc, wc WriteConcern, fn func(tx W
 func (n *Node) countKnownAtLeast(ts oplog.OpTime) int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	return n.countKnownAtLeastLocked(ts)
+}
+
+func (n *Node) countKnownAtLeastLocked(ts oplog.OpTime) int {
 	count := 0
 	for id, known := range n.known {
 		applied := known
@@ -72,13 +71,16 @@ func (n *Node) countKnownAtLeast(ts oplog.OpTime) int {
 // point, the basis of read concern majority.
 func (n *Node) MajorityCommitPoint() oplog.OpTime {
 	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.majorityPointLocked()
+}
+
+func (n *Node) majorityPointLocked() oplog.OpTime {
 	times := make([]oplog.OpTime, len(n.known))
 	copy(times, n.known)
 	times[n.ID] = n.lastApplied
-	n.mu.RUnlock()
 	// Sort descending; the (majority-1) index is the newest OpTime
 	// that at least a majority have reached.
 	sort.Slice(times, func(i, j int) bool { return times[j].Before(times[i]) })
-	need := len(times)/2 + 1
-	return times[need-1]
+	return times[len(times)/2]
 }

@@ -13,6 +13,7 @@ func TestWriteConcernMajorityWaitsForReplication(t *testing.T) {
 	defer env.Shutdown()
 	cfg := fastConfig()
 	cfg.ReplIdlePoll = 400 * time.Millisecond // visible replication delay
+	cfg.DisableTailWake = true                // poll-driven delay is the point here
 	rs := New(env, cfg)
 
 	var w1Lat, majLat time.Duration

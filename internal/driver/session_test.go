@@ -13,6 +13,7 @@ func causalSetup(seed int64, poll time.Duration) (*sim.VirtualEnv, *cluster.Repl
 	env := sim.NewEnv(seed)
 	cfg := cluster.DefaultConfig()
 	cfg.ReplIdlePoll = poll
+	cfg.DisableTailWake = true // these tests drive staleness via the poll interval
 	cfg.HeartbeatInterval = 100 * time.Millisecond
 	cfg.CheckpointInterval = time.Hour
 	cfg.NoopInterval = time.Hour

@@ -94,6 +94,19 @@ func (h *Histogram) Observe(v time.Duration) {
 	h.mu.Unlock()
 }
 
+// ObserveN records one dimensionless value — a batch size, a queue
+// depth — in the same buckets. Snapshots report such histograms in
+// raw units rather than nanoseconds; the instrument name should make
+// the unit obvious.
+func (h *Histogram) ObserveN(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Record(time.Duration(v))
+	h.mu.Unlock()
+}
+
 // Stats summarizes the observations so far.
 func (h *Histogram) Stats() HistStats {
 	if h == nil {

@@ -1,0 +1,49 @@
+package oplog
+
+// Benchmark for capped-oplog maintenance: the steady state of a loaded
+// primary is "append a batch, truncate back to the cap". With the flat
+// slice representation every truncation copies the entire retained
+// suffix (O(cap)); the ring representation only releases the dropped
+// slots (O(dropped)).
+//
+// Run with:
+//
+//	go test ./internal/oplog -run '^$' -bench BenchmarkOplogTruncate -benchtime 1s -count 3 -benchmem
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkOplogTruncate models one maintenance round at a capped
+// primary oplog: append truncateBatch entries at the tail, then cut
+// back to truncateCap. Throughput is reported in maintained entries/s.
+func BenchmarkOplogTruncate(b *testing.B) {
+	const (
+		truncateCap   = 100_000
+		truncateBatch = 1_000
+	)
+	l := NewLog()
+	now := time.Duration(0)
+	fill := func(count int) {
+		for i := 0; i < count; i++ {
+			now += time.Millisecond
+			ts := l.NextTS(now)
+			if err := l.Append(NewNoop(ts)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	fill(truncateCap)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill(truncateBatch)
+		l.TruncateToLast(truncateCap)
+	}
+	b.StopTimer()
+	if l.Len() != truncateCap {
+		b.Fatalf("log length %d, want %d", l.Len(), truncateCap)
+	}
+	b.ReportMetric(float64(b.N*truncateBatch)/b.Elapsed().Seconds(), "entries/s")
+}

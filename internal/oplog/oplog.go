@@ -163,16 +163,218 @@ func (e Entry) Apply(s *storage.Store) error {
 	}
 }
 
-// Log is an append-only sequence of entries ordered by OpTime.
+// DecodedEntry is an Entry whose payload has been decoded once, so a
+// fetched batch can be parsed outside any lock and then applied — to
+// one store or to several chunks in parallel — without re-decoding
+// bytes per application.
+type DecodedEntry struct {
+	Entry
+	// Doc is the decoded payload: the full document for an insert, the
+	// post-image fields for a set, nil for delete/noop.
+	Doc storage.Document
+}
+
+// Decode parses e's payload once.
+func (e Entry) Decode() (DecodedEntry, error) {
+	d := DecodedEntry{Entry: e}
+	switch e.Kind {
+	case KindInsert, KindSet:
+		doc, err := storage.DecodeDoc(e.Payload)
+		if err != nil {
+			return d, fmt.Errorf("oplog: decode %s %s: %w", e.Kind, e.TS, err)
+		}
+		d.Doc = doc
+	}
+	return d, nil
+}
+
+// DecodeBatch decodes every entry of a fetched batch, dropping
+// undecodable ones. It returns the decoded batch, how many entries
+// were dropped, and the first decode error (nil if none).
+func DecodeBatch(entries []Entry) ([]DecodedEntry, int, error) {
+	out := make([]DecodedEntry, 0, len(entries))
+	dropped := 0
+	var first error
+	for _, e := range entries {
+		d, err := e.Decode()
+		if err != nil {
+			dropped++
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	return out, dropped, first
+}
+
+// Apply executes the decoded entry against a store, idempotently. The
+// decoded document is handed over as an owned value: committed
+// documents are immutable under the copy-on-write storage layer, so
+// sharing the pointer (even across several stores during catch-up or
+// resync) is safe and skips the normalize-and-clone work the byte
+// decode path pays on every application.
+func (e DecodedEntry) Apply(s *storage.Store) error {
+	switch e.Kind {
+	case KindInsert:
+		return s.C(e.Collection).UpsertOwned(e.Doc)
+	case KindSet:
+		_, err := s.C(e.Collection).ApplySetOwned(e.DocID, e.Doc)
+		return err
+	case KindDelete:
+		s.C(e.Collection).Delete(e.DocID)
+		return nil
+	case KindNoop:
+		return nil
+	default:
+		return fmt.Errorf("oplog: unknown entry kind %d", e.Kind)
+	}
+}
+
+// ApplyDecodedBatch applies an ordered run of decoded entries to a
+// store, grouping consecutive same-collection mutations so each group
+// takes its collection's write lock once (the batch apply entry
+// point). Individual failures are skipped, not fatal: it returns how
+// many entries applied, how many failed, and the first error.
+func ApplyDecodedBatch(s *storage.Store, batch []DecodedEntry) (applied, failed int, firstErr error) {
+	note := func(err error) {
+		failed++
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	var run []storage.ApplyOp
+	var runColl string
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		ok, err := s.C(runColl).ApplyBatch(run)
+		applied += ok
+		failed += len(run) - ok
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		run = run[:0]
+	}
+	for _, e := range batch {
+		var op storage.ApplyOp
+		switch e.Kind {
+		case KindNoop:
+			applied++ // advances the log without touching data
+			continue
+		case KindInsert:
+			op = storage.ApplyOp{Kind: storage.ApplyUpsert, ID: e.DocID, Doc: e.Doc}
+		case KindSet:
+			op = storage.ApplyOp{Kind: storage.ApplyMerge, ID: e.DocID, Doc: e.Doc}
+		case KindDelete:
+			op = storage.ApplyOp{Kind: storage.ApplyDelete, ID: e.DocID}
+		default:
+			note(fmt.Errorf("oplog: unknown entry kind %d", e.Kind))
+			continue
+		}
+		if e.Collection != runColl {
+			flush()
+			runColl = e.Collection
+		}
+		run = append(run, op)
+	}
+	flush()
+	return applied, failed, firstErr
+}
+
+// Log is an append-only sequence of entries ordered by OpTime, stored
+// in a ring buffer. Appends are amortized O(1); truncation releases
+// only the dropped slots (O(dropped)) instead of copying the retained
+// suffix (O(len)) as a flat slice would — the difference between a
+// capped oplog whose steady-state maintenance is free and one that
+// re-copies ~cap entries on every cut. The Log carries no lock of its
+// own; callers (the cluster node) synchronize access.
 type Log struct {
-	entries []Entry
+	buf   []Entry // ring storage; empty slots are zeroed so payloads free
+	head  int     // index of the oldest entry in buf
+	count int     // live entries
+
 	lastTS  OpTime
 	nextInc uint32
 	lastSec int64
+
+	// truncatedTo is the TS of the newest entry ever discarded (by
+	// truncation or reset). A fetcher whose position is before this has
+	// fallen off the log and must resync rather than fetch.
+	truncatedTo OpTime
+
+	// onAppend, if set, runs once after every Append/AppendBatch — the
+	// tail-notification hook pullers use to wake on new entries instead
+	// of sleep-polling. It runs under whatever lock guards the Log, so
+	// it must not block.
+	onAppend func()
 }
 
 // NewLog creates an empty log.
 func NewLog() *Log { return &Log{} }
+
+// OnAppend installs the tail-notification hook (nil disables it).
+func (l *Log) OnAppend(fn func()) { l.onAppend = fn }
+
+func (l *Log) notify() {
+	if l.onAppend != nil {
+		l.onAppend()
+	}
+}
+
+// slot maps the logical index i (0 = oldest) to a ring position.
+func (l *Log) slot(i int) int { return (l.head + i) % len(l.buf) }
+
+// at returns the i-th oldest entry.
+func (l *Log) at(i int) Entry { return l.buf[l.slot(i)] }
+
+// ensure grows the ring so it can hold n more entries, unwrapping the
+// ring into the front of the new buffer.
+func (l *Log) ensure(n int) {
+	need := l.count + n
+	if need <= len(l.buf) {
+		return
+	}
+	newCap := len(l.buf) * 2
+	if newCap < 16 {
+		newCap = 16
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	buf := make([]Entry, newCap)
+	if l.count > 0 {
+		tail := copy(buf, l.buf[l.head:])
+		if tail < l.count {
+			copy(buf[tail:], l.buf[:l.count-tail])
+		}
+	}
+	l.buf = buf
+	l.head = 0
+}
+
+// dropFirst discards the n oldest entries, zeroing their slots so the
+// payloads are collectable, and records the newest dropped TS.
+func (l *Log) dropFirst(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n > l.count {
+		n = l.count
+	}
+	l.truncatedTo = l.at(n - 1).TS
+	for i := 0; i < n; i++ {
+		l.buf[l.slot(i)] = Entry{}
+	}
+	l.head = l.slot(n)
+	l.count -= n
+	if l.count == 0 {
+		l.head = 0
+	}
+	return n
+}
 
 // NextTS mints the OpTime for an operation occurring at virtual time
 // now, monotonically increasing.
@@ -200,31 +402,81 @@ func (l *Log) Append(e Entry) error {
 	if !l.lastTS.Before(e.TS) {
 		return fmt.Errorf("oplog: append out of order: %s after %s", e.TS, l.lastTS)
 	}
-	l.entries = append(l.entries, e)
+	l.ensure(1)
+	l.buf[l.slot(l.count)] = e
+	l.count++
 	l.lastTS = e.TS
+	l.notify()
+	return nil
+}
+
+// AppendBatch adds entries (each TS exceeding the previous) with one
+// capacity check and one tail notification for the whole batch — the
+// group-commit append. On an ordering error nothing is appended.
+func (l *Log) AppendBatch(entries []Entry) error {
+	last := l.lastTS
+	for _, e := range entries {
+		if !last.Before(e.TS) {
+			return fmt.Errorf("oplog: batch append out of order: %s after %s", e.TS, last)
+		}
+		last = e.TS
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	l.ensure(len(entries))
+	for _, e := range entries {
+		l.buf[l.slot(l.count)] = e
+		l.count++
+	}
+	l.lastTS = last
+	l.notify()
 	return nil
 }
 
 // Last returns the OpTime of the newest entry (Zero if empty).
 func (l *Log) Last() OpTime { return l.lastTS }
 
+// First returns the OpTime of the oldest retained entry (Zero if empty).
+func (l *Log) First() OpTime {
+	if l.count == 0 {
+		return Zero
+	}
+	return l.at(0).TS
+}
+
+// TruncatedTo returns the TS of the newest entry ever discarded (Zero
+// if the log has never dropped anything). A fetch position before this
+// value has a gap: entries it has not seen are gone.
+func (l *Log) TruncatedTo() OpTime { return l.truncatedTo }
+
 // Len returns the number of entries retained.
-func (l *Log) Len() int { return len(l.entries) }
+func (l *Log) Len() int { return l.count }
+
+// search returns the smallest logical index whose entry satisfies
+// pred, or count if none does (entries are TS-ordered).
+func (l *Log) search(pred func(OpTime) bool) int {
+	return sort.Search(l.count, func(i int) bool {
+		return pred(l.at(i).TS)
+	})
+}
 
 // ScanAfter returns up to max entries with TS strictly after `after`.
 func (l *Log) ScanAfter(after OpTime, max int) []Entry {
-	i := sort.Search(len(l.entries), func(i int) bool {
-		return after.Before(l.entries[i].TS)
-	})
-	if i >= len(l.entries) {
+	i := l.search(after.Before)
+	if i >= l.count {
 		return nil
 	}
-	end := len(l.entries)
+	end := l.count
 	if max > 0 && i+max < end {
 		end = i + max
 	}
 	out := make([]Entry, end-i)
-	copy(out, l.entries[i:end])
+	start := l.slot(i)
+	tail := copy(out, l.buf[start:min(start+(end-i), len(l.buf))])
+	if tail < len(out) {
+		copy(out[tail:], l.buf[:len(out)-tail])
+	}
 	return out
 }
 
@@ -232,15 +484,7 @@ func (l *Log) ScanAfter(after OpTime, max int) []Entry {
 // memory like MongoDB's capped oplog collection. It returns how many
 // entries were dropped.
 func (l *Log) TruncateBefore(cutoff OpTime) int {
-	i := sort.Search(len(l.entries), func(i int) bool {
-		return !l.entries[i].TS.Before(cutoff)
-	})
-	if i == 0 {
-		return 0
-	}
-	dropped := i
-	l.entries = append([]Entry(nil), l.entries[i:]...)
-	return dropped
+	return l.dropFirst(l.search(func(ts OpTime) bool { return !ts.Before(cutoff) }))
 }
 
 // TruncateToLast keeps only the newest n entries, returning how many
@@ -248,10 +492,23 @@ func (l *Log) TruncateBefore(cutoff OpTime) int {
 // fetchers to protect, but must bound memory like any capped
 // collection).
 func (l *Log) TruncateToLast(n int) int {
-	if n < 0 || len(l.entries) <= n {
+	if n < 0 || l.count <= n {
 		return 0
 	}
-	dropped := len(l.entries) - n
-	l.entries = append([]Entry(nil), l.entries[dropped:]...)
-	return dropped
+	return l.dropFirst(l.count - n)
+}
+
+// ResetTo discards every entry and restarts the log at ts, as after an
+// initial sync: the node's data now reflects a snapshot at ts, earlier
+// history is gone (TruncatedTo reports ts), and the next append must
+// follow ts.
+func (l *Log) ResetTo(ts OpTime) {
+	for i := 0; i < l.count; i++ {
+		l.buf[l.slot(i)] = Entry{}
+	}
+	l.head, l.count = 0, 0
+	l.lastTS = ts
+	l.lastSec = ts.Secs
+	l.nextInc = ts.Inc
+	l.truncatedTo = ts
 }

@@ -188,6 +188,30 @@ func (g *rgate) Wait(p Proc) {
 	}
 }
 
+func (g *rgate) WaitTimeout(p Proc, d time.Duration) bool {
+	g.mu.Lock()
+	ch := g.ch
+	g.mu.Unlock()
+	if d <= 0 {
+		select {
+		case <-ch:
+			return true
+		case <-g.env.done:
+			panic(stoppedError{})
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	case <-g.env.done:
+		panic(stoppedError{})
+	}
+}
+
 func (g *rgate) Broadcast() {
 	g.mu.Lock()
 	close(g.ch)

@@ -104,6 +104,35 @@ func TestRealtimeGateBroadcast(t *testing.T) {
 	}
 }
 
+func TestRealtimeGateWaitTimeout(t *testing.T) {
+	env := NewRealtimeEnv(1)
+	defer env.Shutdown()
+	gate := env.NewGate()
+	p := env.Adhoc("waiter")
+	start := time.Now()
+	if gate.WaitTimeout(p, 20*time.Millisecond) {
+		t.Fatal("WaitTimeout reported broadcast, want timeout")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("WaitTimeout returned before the timeout elapsed")
+	}
+	done := make(chan bool, 1)
+	go func() {
+		q := env.Adhoc("waiter2")
+		done <- gate.WaitTimeout(q, 10*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	gate.Broadcast()
+	select {
+	case fired := <-done:
+		if !fired {
+			t.Fatal("WaitTimeout reported timeout, want broadcast")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("broadcast did not wake the timed waiter")
+	}
+}
+
 func TestRealtimeShutdownUnblocksEverything(t *testing.T) {
 	env := NewRealtimeEnv(1)
 	sem := env.NewSemaphore(1)

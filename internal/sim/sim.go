@@ -73,6 +73,12 @@ type Semaphore interface {
 // Gate is a broadcast condition: Wait blocks until the next Broadcast.
 type Gate interface {
 	Wait(p Proc)
+	// WaitTimeout blocks until the next Broadcast or until d elapses,
+	// whichever comes first, and reports whether it was woken by a
+	// Broadcast. Non-positive d waits without a timeout (like Wait).
+	// Oplog tail waiters use the timeout as a liveness backstop so a
+	// missed signal degrades to the old poll interval, never a hang.
+	WaitTimeout(p Proc, d time.Duration) bool
 	Broadcast()
 }
 

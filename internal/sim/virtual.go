@@ -257,23 +257,52 @@ func (s *vsem) Waiting() int { return len(s.waiters) }
 
 // ---- Gate ----
 
+// vgateWaiter is one parked process plus the reason it was (or will
+// be) resumed: a Broadcast marks it fired; a timeout removes it from
+// the waiter list before resuming, so the two wakeups never race.
+type vgateWaiter struct {
+	p        *vproc
+	fired    bool
+	timedOut bool
+}
+
 type vgate struct {
 	env     *VirtualEnv
-	waiters []*vproc
+	waiters []*vgateWaiter
 }
 
 // NewGate creates a broadcast condition.
 func (e *VirtualEnv) NewGate() Gate { return &vgate{env: e} }
 
-func (g *vgate) Wait(p Proc) {
+func (g *vgate) Wait(p Proc) { g.WaitTimeout(p, 0) }
+
+func (g *vgate) WaitTimeout(p Proc, d time.Duration) bool {
 	vp := p.(*vproc)
-	g.waiters = append(g.waiters, vp)
+	w := &vgateWaiter{p: vp}
+	g.waiters = append(g.waiters, w)
+	if d > 0 {
+		g.env.After(d, func() {
+			if w.fired || w.timedOut {
+				return
+			}
+			w.timedOut = true
+			for i, x := range g.waiters {
+				if x == w {
+					g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+					break
+				}
+			}
+			g.env.schedule(g.env.now, vp, nil)
+		})
+	}
 	vp.park()
+	return w.fired
 }
 
 func (g *vgate) Broadcast() {
 	for _, w := range g.waiters {
-		g.env.schedule(g.env.now, w, nil)
+		w.fired = true
+		g.env.schedule(g.env.now, w.p, nil)
 	}
 	g.waiters = nil
 }

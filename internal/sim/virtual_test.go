@@ -199,6 +199,57 @@ func TestGateBroadcastWakesAllWaiters(t *testing.T) {
 	}
 }
 
+func TestGateWaitTimeoutExpires(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Shutdown()
+	gate := env.NewGate()
+	var fired bool
+	var at time.Duration
+	env.Spawn("waiter", func(p Proc) {
+		fired = gate.WaitTimeout(p, time.Second)
+		at = p.Now()
+	})
+	env.Run(5 * time.Second)
+	if fired {
+		t.Fatal("WaitTimeout reported broadcast, want timeout")
+	}
+	if at != time.Second {
+		t.Fatalf("woke at %v, want 1s", at)
+	}
+}
+
+func TestGateWaitTimeoutBroadcastWinsAndTimerIsInert(t *testing.T) {
+	env := NewEnv(1)
+	defer env.Shutdown()
+	gate := env.NewGate()
+	wakes := 0
+	var fired bool
+	var at time.Duration
+	env.Spawn("waiter", func(p Proc) {
+		fired = gate.WaitTimeout(p, 2*time.Second)
+		wakes++
+		at = p.Now()
+		// Park again with no timeout: the first wait's stale timer
+		// firing at t=2s must not wake this wait.
+		gate.Wait(p)
+		wakes++
+	})
+	env.Spawn("caster", func(p Proc) {
+		p.Sleep(time.Second)
+		gate.Broadcast()
+	})
+	env.Run(10 * time.Second)
+	if !fired {
+		t.Fatal("WaitTimeout reported timeout, want broadcast")
+	}
+	if at != time.Second {
+		t.Fatalf("woke at %v, want 1s", at)
+	}
+	if wakes != 1 {
+		t.Fatalf("wakes=%d, want 1 (stale timer must not fire the second wait)", wakes)
+	}
+}
+
 func TestMailboxFIFOAndBlockingRecv(t *testing.T) {
 	env := NewEnv(1)
 	defer env.Shutdown()

@@ -171,13 +171,31 @@ func (c *Collection) Upsert(doc Document) error {
 	if err != nil {
 		return err
 	}
-	id, ok := norm["_id"].(string)
-	if !ok || id == "" {
-		return fmt.Errorf("storage: upsert into %s requires a string _id", c.name)
-	}
 	stored := norm.Clone()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.upsertLocked(stored)
+}
+
+// UpsertOwned is Upsert for a document the caller hands over: already
+// normalized and never mutated again (a freshly decoded oplog payload,
+// or a commit-time post-image). It skips the normalize-and-clone pass
+// and stores the document directly — committed documents stay immutable
+// under copy-on-write, so transferring (or even sharing) the pointer is
+// safe.
+func (c *Collection) UpsertOwned(doc Document) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.upsertLocked(doc)
+}
+
+// upsertLocked replaces or inserts a ready-to-store document. Caller
+// holds the write lock.
+func (c *Collection) upsertLocked(stored Document) error {
+	id, ok := stored["_id"].(string)
+	if !ok || id == "" {
+		return fmt.Errorf("storage: upsert into %s requires a string _id", c.name)
+	}
 	if old, exists := c.docs.Get(id); exists {
 		for _, idx := range c.indexes {
 			idx.remove(old, id)
@@ -206,17 +224,39 @@ func (c *Collection) ApplySet(id string, fields Document) (Document, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.applySetLocked(id, norm, false)
+}
+
+// ApplySetOwned is ApplySet for field values the caller hands over:
+// already normalized and never mutated again (a freshly decoded oplog
+// payload, or commit-time post-image fields). It skips normalization
+// and moves the values into the merged document without cloning.
+func (c *Collection) ApplySetOwned(id string, fields Document) (Document, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applySetLocked(id, fields, true)
+}
+
+// applySetLocked merges ready-to-store fields into the identified
+// document (copy-on-write: the merge builds a fresh document). Caller
+// holds the write lock. When owned, field values transfer without a
+// clone.
+func (c *Collection) applySetLocked(id string, fields Document, owned bool) (Document, error) {
 	old, exists := c.docs.Get(id)
-	merged := make(Document, len(old)+len(norm))
+	merged := make(Document, len(old)+len(fields))
 	for k, v := range old {
 		merged[k] = v
 	}
 	merged["_id"] = id
-	for k, v := range norm {
+	for k, v := range fields {
 		if k == "_id" {
 			continue
 		}
-		merged[k] = cloneValue(v)
+		if owned {
+			merged[k] = v
+		} else {
+			merged[k] = cloneValue(v)
+		}
 	}
 	if exists {
 		for _, idx := range c.indexes {
@@ -237,6 +277,11 @@ func (c *Collection) ApplySet(id string, fields Document) (Document, error) {
 func (c *Collection) Delete(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.deleteLocked(id)
+}
+
+// deleteLocked removes a document. Caller holds the write lock.
+func (c *Collection) deleteLocked(id string) bool {
 	doc, exists := c.docs.Get(id)
 	if !exists {
 		return false
@@ -246,6 +291,90 @@ func (c *Collection) Delete(id string) bool {
 	}
 	c.docs.Delete(id)
 	return true
+}
+
+// ApplyKind selects the operation of one ApplyOp.
+type ApplyKind int
+
+const (
+	// ApplyUpsert stores Doc (which carries its own _id) outright.
+	ApplyUpsert ApplyKind = iota
+	// ApplyMerge merges Doc's fields into the document identified by ID.
+	ApplyMerge
+	// ApplyDelete removes the document identified by ID.
+	ApplyDelete
+)
+
+// ApplyOp is one replication mutation inside an ApplyBatch. Doc is
+// owned by the collection after the call (see UpsertOwned).
+type ApplyOp struct {
+	Kind ApplyKind
+	ID   string
+	Doc  Document
+}
+
+// ApplyBatch applies an ordered run of replication mutations under a
+// single write-lock acquisition — the batch apply entry point used by
+// secondary oplog application, amortizing lock traffic that per-entry
+// calls would pay per document. Individual failures skip the op rather
+// than aborting the batch (oplog application must keep going); it
+// returns how many ops applied and the first error encountered.
+func (c *Collection) ApplyBatch(ops []ApplyOp) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	applied := 0
+	var first error
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case ApplyUpsert:
+			err = c.upsertLocked(op.Doc)
+		case ApplyMerge:
+			_, err = c.applySetLocked(op.ID, op.Doc, true)
+		case ApplyDelete:
+			c.deleteLocked(op.ID)
+		default:
+			err = fmt.Errorf("storage: unknown apply op kind %d", op.Kind)
+		}
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		applied++
+	}
+	return applied, first
+}
+
+// CloneShallow returns a new collection sharing this collection's
+// committed documents. Documents are immutable under copy-on-write, so
+// the pointer sharing is safe; the _id and secondary index trees are
+// copied entry by entry (new trees, same keys). This is the initial-
+// sync snapshot: O(n) pointer copies instead of a deep clone of every
+// document.
+func (c *Collection) CloneShallow() *Collection {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := newCollection(c.name)
+	c.docs.AscendAll(func(id string, d Document) bool {
+		out.docs.Set(id, d)
+		return true
+	})
+	for name, idx := range c.indexes {
+		ni := &Index{
+			Name:   idx.Name,
+			Fields: append([]string(nil), idx.Fields...),
+			Unique: idx.Unique,
+			tree:   btree.New[string, string](cmp.Compare[string]),
+		}
+		idx.tree.AscendAll(func(k, id string) bool {
+			ni.tree.Set(k, id)
+			return true
+		})
+		out.indexes[name] = ni
+	}
+	return out
 }
 
 // FindByID returns the committed document with the given _id. The

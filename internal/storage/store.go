@@ -70,6 +70,19 @@ func (s *Store) Names() []string {
 	return names
 }
 
+// CloneShallow returns a new store whose collections share this
+// store's committed documents (see Collection.CloneShallow) — the
+// initial-sync snapshot a node that fell off the oplog restarts from.
+func (s *Store) CloneShallow() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := NewStore()
+	for name, c := range s.collections {
+		out.collections[name] = c.CloneShallow()
+	}
+	return out
+}
+
 // TotalDocs returns the number of documents across all collections.
 func (s *Store) TotalDocs() int {
 	s.mu.RLock()

@@ -82,6 +82,7 @@ func TestProbeSecondaryHookRedirectsToPrimary(t *testing.T) {
 func TestFrozenSecondaryShowsGrowingStaleness(t *testing.T) {
 	env, rs, cl := setup(4, func(cfg *cluster.Config) {
 		cfg.ReplIdlePoll = 10 * time.Second
+		cfg.DisableTailWake = true // poll IS the freeze; tail wake would undo it
 	})
 	defer env.Shutdown()
 	// Mark both secondaries' replication as effectively stopped via the
