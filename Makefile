@@ -4,7 +4,7 @@ GO ?= go
 BENCHTIME ?= 2s
 COUNT ?= 3
 
-.PHONY: all build test race bench bench-pr4
+.PHONY: all build test race bench bench-pr4 bench-pr5
 
 all: build test
 
@@ -37,3 +37,14 @@ bench-pr4:
 	$(GO) test ./internal/oplog -run '^$$' -bench BenchmarkOplogTruncate -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr4.txt
 	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr4.txt < bench/current_pr4.txt > BENCH_PR4.json
 	@cat BENCH_PR4.json
+
+# bench-pr5 runs the PR 5 wire-codec benchmarks — binary protocol v2
+# round trips (point reads, indexed finds, id-batch lookups) and the
+# small-document encoder — and rewrites BENCH_PR5.json against the
+# recorded JSON-codec baseline in bench/baseline_pr5.txt (captured
+# with WIRE_PROTO=1, which pins the v1 codec).
+bench-pr5:
+	$(GO) test ./internal/wire -run '^$$' -bench BenchmarkWire -benchtime $(BENCHTIME) -count $(COUNT) -benchmem > bench/current_pr5.txt
+	$(GO) test ./internal/storage -run '^$$' -bench BenchmarkEncodeDoc -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr5.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr5.txt < bench/current_pr5.txt > BENCH_PR5.json
+	@cat BENCH_PR5.json

@@ -506,6 +506,22 @@ type ReadView interface {
 	AddUnits(u int)
 }
 
+// EncodedReadView is an optional extension of ReadView implemented by
+// the in-process view: read results as storage.EncodedDoc wrappers,
+// exposing each committed document's lazily cached BSON-lite encoding.
+// The wire server type-asserts for it on binary (protocol v2)
+// connections and splices the cached bytes straight into response
+// frames, skipping per-request document serialization. Remote views
+// do not implement it — callers must fall back to the Document forms.
+type EncodedReadView interface {
+	// FindByIDEncoded is FindByID returning the encoding-cache wrapper.
+	FindByIDEncoded(collection, id string) (*storage.EncodedDoc, bool)
+	// FindManyByIDEncoded is FindManyByID over the encoding cache.
+	FindManyByIDEncoded(collection string, ids []string) []*storage.EncodedDoc
+	// FindEncoded is Find over the encoding cache.
+	FindEncoded(collection string, f storage.Filter, limit int) []*storage.EncodedDoc
+}
+
 // WriteTxn extends ReadView with buffered mutations that commit at the
 // end of the transaction's service time.
 type WriteTxn interface {
@@ -586,6 +602,35 @@ func (v *localReadView) Count(collection string, f storage.Filter) int {
 
 // AddUnits charges extra read units for computation done on results.
 func (v *localReadView) AddUnits(u int) { v.readUnits += u }
+
+// FindByIDEncoded implements EncodedReadView (1 read unit, like
+// FindByID): the wire server's binary path reads through it to reach
+// the document's cached BSON-lite encoding.
+func (v *localReadView) FindByIDEncoded(collection, id string) (*storage.EncodedDoc, bool) {
+	v.readUnits++
+	return v.node.store.C(collection).FindByIDEncoded(id)
+}
+
+// FindManyByIDEncoded implements EncodedReadView with FindManyByID's
+// unit charging.
+func (v *localReadView) FindManyByIDEncoded(collection string, ids []string) []*storage.EncodedDoc {
+	c := v.node.store.C(collection)
+	out := make([]*storage.EncodedDoc, 0, len(ids))
+	for _, id := range ids {
+		if e, ok := c.FindByIDEncoded(id); ok {
+			out = append(out, e)
+		}
+	}
+	v.readUnits += 1 + (len(ids)+7)/8
+	return out
+}
+
+// FindEncoded implements EncodedReadView with Find's unit charging.
+func (v *localReadView) FindEncoded(collection string, f storage.Filter, limit int) []*storage.EncodedDoc {
+	docs := v.node.store.C(collection).FindEncoded(f, limit)
+	v.readUnits += 1 + len(docs)/4
+	return docs
+}
 
 // localWriteTxn is the in-process WriteTxn. Mutations are buffered
 // while the transaction body runs and committed — applied to the

@@ -64,6 +64,49 @@ func BenchmarkCollectionFindScan(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeDoc measures BSON-lite document encoding: "small" is
+// the flat-document fast path (the per-call key-slice allocation and
+// sort.Strings the PR 5 scratch-buffer sort removes), "nested" the
+// recursive path through arrays of subdocuments.
+func BenchmarkEncodeDoc(b *testing.B) {
+	small := Document{
+		"_id":  "doc00042",
+		"w_id": int64(42),
+		"val":  int64(7),
+		"pad":  "abcdefghijklmnopqrstuvwxyz",
+		"ok":   true,
+		"f":    3.14,
+	}
+	lines := make([]any, 8)
+	for j := range lines {
+		lines[j] = Document{
+			"i_id":   int64(j),
+			"qty":    int64(5),
+			"amount": 3.14,
+			"info":   "abcdefghijklmnopqrstuvwx",
+		}
+	}
+	nested := Document{
+		"_id":         "doc00042",
+		"w_id":        int64(42),
+		"val":         int64(7),
+		"order_lines": lines,
+	}
+	var dst []byte
+	b.Run("small", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = appendDoc(dst[:0], small)
+		}
+	})
+	b.Run("nested", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = appendDoc(dst[:0], nested)
+		}
+	})
+}
+
 func BenchmarkCollectionApplySet(b *testing.B) {
 	c := benchCollection(b, 1024)
 	b.ReportAllocs()

@@ -35,12 +35,45 @@ func EncodeDoc(d Document) []byte {
 	return appendDoc(nil, d)
 }
 
+// AppendDoc appends a document's BSON-lite encoding to dst.
+func AppendDoc(dst []byte, d Document) []byte {
+	return appendDoc(dst, d)
+}
+
+// smallDocFields is the field count up to which appendDoc sorts keys
+// in a stack scratch buffer, keeping small-document encoding off the
+// allocator entirely.
+const smallDocFields = 16
+
 func appendDoc(dst []byte, d Document) []byte {
+	if len(d) <= smallDocFields {
+		var scratch [smallDocFields]string
+		keys := scratch[:0]
+		for k := range d {
+			keys = append(keys, k)
+		}
+		insertionSortStrings(keys)
+		return appendFields(dst, d, keys)
+	}
 	keys := make([]string, 0, len(d))
 	for k := range d {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	return appendFields(dst, d, keys)
+}
+
+// insertionSortStrings sorts in place without the interface boxing of
+// sort.Strings, so a caller's stack scratch buffer does not escape.
+func insertionSortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func appendFields(dst []byte, d Document, keys []string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(keys)))
 	for _, k := range keys {
 		dst = binary.AppendUvarint(dst, uint64(len(k)))
@@ -93,6 +126,26 @@ func appendValue(dst []byte, v any) []byte {
 	}
 }
 
+// AppendValue appends one value's BSON-lite encoding (type tag plus
+// payload) to dst. The value must be in the canonical document model
+// (Normalize first); unsupported types panic like EncodeDoc.
+func AppendValue(dst []byte, v any) []byte {
+	return appendValue(dst, v)
+}
+
+// DecodeValue decodes one BSON-lite value from b, returning the value
+// and the unconsumed remainder.
+func DecodeValue(b []byte) (any, []byte, error) {
+	return decodeValue(b)
+}
+
+// DecodeDocPrefix decodes one document from the front of b, returning
+// the unconsumed remainder — for streams that concatenate documents
+// back to back (the encoding is self-delimiting).
+func DecodeDocPrefix(b []byte) (Document, []byte, error) {
+	return decodeDoc(b)
+}
+
 // DecodeDoc parses BSON-lite bytes back into a document.
 func DecodeDoc(b []byte) (Document, error) {
 	d, rest, err := decodeDoc(b)
@@ -110,6 +163,12 @@ func decodeDoc(b []byte) (Document, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// A field costs at least two bytes (key length + type tag), so a
+	// count beyond len(b)/2 is corrupt — reject it before sizing the
+	// map, so hostile input cannot force a huge allocation.
+	if n > uint64(len(b))/2 {
+		return nil, nil, errCorrupt
+	}
 	d := make(Document, n)
 	for i := uint64(0); i < n; i++ {
 		var klen uint64
@@ -120,7 +179,7 @@ func decodeDoc(b []byte) (Document, []byte, error) {
 		if uint64(len(b)) < klen {
 			return nil, nil, errCorrupt
 		}
-		key := string(b[:klen])
+		key := Intern(b[:klen])
 		b = b[klen:]
 		var v any
 		v, b, err = decodeValue(b)
@@ -150,19 +209,19 @@ func decodeValue(b []byte) (any, []byte, error) {
 		if n <= 0 {
 			return nil, nil, errCorrupt
 		}
-		return v, b[n:], nil
+		return InternInt64(v), b[n:], nil
 	case btFloat:
 		if len(b) < 8 {
 			return nil, nil, errCorrupt
 		}
 		v := math.Float64frombits(binary.LittleEndian.Uint64(b))
-		return v, b[8:], nil
+		return InternFloat64(v), b[8:], nil
 	case btString:
 		n, b, err := readUvarint(b)
 		if err != nil || uint64(len(b)) < n {
 			return nil, nil, errCorrupt
 		}
-		return string(b[:n]), b[n:], nil
+		return InternValue(b[:n]), b[n:], nil
 	case btBytes:
 		n, b, err := readUvarint(b)
 		if err != nil || uint64(len(b)) < n {
@@ -175,6 +234,11 @@ func decodeValue(b []byte) (any, []byte, error) {
 		n, b, err := readUvarint(b)
 		if err != nil {
 			return nil, nil, err
+		}
+		// An element costs at least one byte (its type tag): bound the
+		// slice allocation by the bytes that could actually back it.
+		if n > uint64(len(b)) {
+			return nil, nil, errCorrupt
 		}
 		arr := make([]any, 0, n)
 		for i := uint64(0); i < n; i++ {

@@ -20,10 +20,15 @@ import (
 // while writers advance the collection. Callers must therefore treat
 // every returned Document as strictly read-only; a caller that wants
 // to modify a result clones it first.
+//
+// Each committed document is stored behind an EncodedDoc wrapper that
+// lazily caches its canonical BSON-lite encoding — populated the first
+// time the wire layer serializes the document, and invalidated for
+// free because mutation swaps the wrapper along with the document.
 type Collection struct {
 	name    string
 	mu      sync.RWMutex
-	docs    *btree.Tree[string, Document]
+	docs    *btree.Tree[string, *EncodedDoc]
 	indexes map[string]*Index
 }
 
@@ -40,7 +45,7 @@ type Index struct {
 func newCollection(name string) *Collection {
 	return &Collection{
 		name:    name,
-		docs:    btree.New[string, Document](cmp.Compare[string]),
+		docs:    btree.New[string, *EncodedDoc](cmp.Compare[string]),
 		indexes: make(map[string]*Index),
 	}
 }
@@ -72,8 +77,8 @@ func (c *Collection) CreateIndex(name string, unique bool, fields ...string) (*I
 		tree:   btree.New[string, string](cmp.Compare[string]),
 	}
 	var backfillErr error
-	c.docs.AscendAll(func(id string, d Document) bool {
-		if err := idx.insert(d, id); err != nil {
+	c.docs.AscendAll(func(id string, e *EncodedDoc) bool {
+		if err := idx.insert(e.doc, id); err != nil {
 			backfillErr = err
 			return false
 		}
@@ -158,7 +163,7 @@ func (c *Collection) Insert(doc Document) error {
 		}
 		added = append(added, idx)
 	}
-	c.docs.Set(id, stored)
+	c.docs.Set(id, newEncodedDoc(stored))
 	return nil
 }
 
@@ -198,7 +203,7 @@ func (c *Collection) upsertLocked(stored Document) error {
 	}
 	if old, exists := c.docs.Get(id); exists {
 		for _, idx := range c.indexes {
-			idx.remove(old, id)
+			idx.remove(old.doc, id)
 		}
 	}
 	for _, idx := range c.indexes {
@@ -206,7 +211,7 @@ func (c *Collection) upsertLocked(stored Document) error {
 			return err
 		}
 	}
-	c.docs.Set(id, stored)
+	c.docs.Set(id, newEncodedDoc(stored))
 	return nil
 }
 
@@ -242,7 +247,11 @@ func (c *Collection) ApplySetOwned(id string, fields Document) (Document, error)
 // holds the write lock. When owned, field values transfer without a
 // clone.
 func (c *Collection) applySetLocked(id string, fields Document, owned bool) (Document, error) {
-	old, exists := c.docs.Get(id)
+	var old Document
+	oldEnc, exists := c.docs.Get(id)
+	if exists {
+		old = oldEnc.doc
+	}
 	merged := make(Document, len(old)+len(fields))
 	for k, v := range old {
 		merged[k] = v
@@ -268,7 +277,7 @@ func (c *Collection) applySetLocked(id string, fields Document, owned bool) (Doc
 			return nil, err
 		}
 	}
-	c.docs.Set(id, merged)
+	c.docs.Set(id, newEncodedDoc(merged))
 	return merged, nil
 }
 
@@ -282,12 +291,12 @@ func (c *Collection) Delete(id string) bool {
 
 // deleteLocked removes a document. Caller holds the write lock.
 func (c *Collection) deleteLocked(id string) bool {
-	doc, exists := c.docs.Get(id)
+	e, exists := c.docs.Get(id)
 	if !exists {
 		return false
 	}
 	for _, idx := range c.indexes {
-		idx.remove(doc, id)
+		idx.remove(e.doc, id)
 	}
 	c.docs.Delete(id)
 	return true
@@ -357,8 +366,10 @@ func (c *Collection) CloneShallow() *Collection {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	out := newCollection(c.name)
-	c.docs.AscendAll(func(id string, d Document) bool {
-		out.docs.Set(id, d)
+	c.docs.AscendAll(func(id string, e *EncodedDoc) bool {
+		// Sharing the wrapper shares the encoding cache too — safe,
+		// since both the document and its cached bytes are immutable.
+		out.docs.Set(id, e)
 		return true
 	})
 	for name, idx := range c.indexes {
@@ -382,6 +393,20 @@ func (c *Collection) CloneShallow() *Collection {
 // mutated in place); the caller must not modify it, or anything
 // reachable from it, and clones it first if it needs to.
 func (c *Collection) FindByID(id string) (Document, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.docs.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return e.doc, true
+}
+
+// FindByIDEncoded returns the committed document's EncodedDoc wrapper,
+// giving the caller access to its lazily cached BSON-lite encoding.
+// The wire server's binary read path uses it to splice pre-encoded
+// bytes into response frames.
+func (c *Collection) FindByIDEncoded(id string) (*EncodedDoc, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.docs.Get(id)
@@ -415,15 +440,46 @@ func (c *Collection) Find(f Filter, limit int) []Document {
 	}
 	if idx, lo, hi := c.planIndex(f); idx != nil {
 		idx.tree.Range(lo, hi, func(k, id string) bool {
-			d, ok := c.docs.Get(id)
+			e, ok := c.docs.Get(id)
 			if !ok {
 				return true
 			}
-			return emit(d)
+			return emit(e.doc)
 		})
 		return out
 	}
-	c.docs.AscendAll(func(id string, d Document) bool { return emit(d) })
+	c.docs.AscendAll(func(id string, e *EncodedDoc) bool { return emit(e.doc) })
+	return out
+}
+
+// FindEncoded is Find returning EncodedDoc wrappers, so the wire
+// server can serve a filtered scan from the per-document encoding
+// cache. Matching runs against the wrapped documents; results are
+// shared and strictly read-only.
+func (c *Collection) FindEncoded(f Filter, limit int) []*EncodedDoc {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*EncodedDoc
+	emit := func(e *EncodedDoc) bool {
+		if f.Matches(e.doc) {
+			out = append(out, e)
+			if limit > 0 && len(out) >= limit {
+				return false
+			}
+		}
+		return true
+	}
+	if idx, lo, hi := c.planIndex(f); idx != nil {
+		idx.tree.Range(lo, hi, func(k, id string) bool {
+			e, ok := c.docs.Get(id)
+			if !ok {
+				return true
+			}
+			return emit(e)
+		})
+		return out
+	}
+	c.docs.AscendAll(func(id string, e *EncodedDoc) bool { return emit(e) })
 	return out
 }
 
@@ -440,15 +496,15 @@ func (c *Collection) Count(f Filter) int {
 	n := 0
 	if idx, lo, hi := c.planIndex(f); idx != nil {
 		idx.tree.Range(lo, hi, func(k, id string) bool {
-			if d, ok := c.docs.Get(id); ok && f.Matches(d) {
+			if e, ok := c.docs.Get(id); ok && f.Matches(e.doc) {
 				n++
 			}
 			return true
 		})
 		return n
 	}
-	c.docs.AscendAll(func(id string, d Document) bool {
-		if f.Matches(d) {
+	c.docs.AscendAll(func(id string, e *EncodedDoc) bool {
+		if f.Matches(e.doc) {
 			n++
 		}
 		return true
@@ -522,5 +578,5 @@ func (c *Collection) planIndex(f Filter) (*Index, string, string) {
 func (c *Collection) ScanIDs(fn func(id string) bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	c.docs.AscendAll(func(id string, d Document) bool { return fn(id) })
+	c.docs.AscendAll(func(id string, e *EncodedDoc) bool { return fn(id) })
 }

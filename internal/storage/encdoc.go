@@ -1,0 +1,46 @@
+package storage
+
+import "sync/atomic"
+
+// EncodedDoc pairs a committed document with a lazily computed cache
+// of its BSON-lite encoding. Collections store one EncodedDoc per
+// committed document; because committed documents are immutable under
+// copy-on-write (every mutation builds a fresh document and swaps the
+// stored wrapper), a cached encoding can never go stale — invalidation
+// is the pointer swap itself. The wire server uses the cache to splice
+// already-encoded bytes straight into binary response frames, so a hot
+// read set pays the document encoding cost once, not per request.
+type EncodedDoc struct {
+	doc Document
+	enc atomic.Pointer[[]byte]
+}
+
+func newEncodedDoc(d Document) *EncodedDoc {
+	return &EncodedDoc{doc: d}
+}
+
+// Doc returns the wrapped document — a shared immutable snapshot,
+// strictly read-only for the caller.
+func (e *EncodedDoc) Doc() Document { return e.doc }
+
+// Bytes returns the document's BSON-lite encoding, computing and
+// caching it on first use. Concurrent first calls may both encode (the
+// canonical encoding makes the race benign — both produce identical
+// bytes); the returned slice is shared and strictly read-only.
+func (e *EncodedDoc) Bytes() []byte {
+	if p := e.enc.Load(); p != nil {
+		return *p
+	}
+	b := EncodeDoc(e.doc)
+	e.enc.Store(&b)
+	return b
+}
+
+// EncodedLen returns the cached encoding's size, or 0 if the document
+// has not been encoded yet.
+func (e *EncodedDoc) EncodedLen() int {
+	if p := e.enc.Load(); p != nil {
+		return len(*p)
+	}
+	return 0
+}

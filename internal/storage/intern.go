@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"math"
+	"sync"
+)
+
+// Interning for BSON-lite decoding. Field names repeat across every
+// document of a collection, and short string values (enum-ish codes,
+// warehouse ids) repeat across rows, so decoding each one into a
+// fresh heap string is pure allocator churn — on the binary wire path
+// it would dominate the per-document decode cost. Intern returns a
+// canonical shared string for such inputs from a bounded, sharded
+// table; once a shard fills up, lookups still hit but new strings are
+// no longer retained, so the table cannot grow without bound under
+// high-cardinality values.
+//
+// A second layer caches *boxed* values: storing a decoded value into
+// a Document means converting it to `any`, and that conversion heap-
+// allocates the interface payload (runtime.convTstring / convT64)
+// even when the underlying bytes are shared — Go's runtime only
+// pre-boxes integers below 256. InternValue / InternInt64 /
+// InternFloat64 return ready-boxed values from equally bounded
+// tables, so re-decoding a warm working set allocates nothing per
+// value. Entries are boxed once at insert and shared forever after;
+// all boxed values are immutable.
+
+const (
+	// internMaxLen caps the length of strings worth interning: long
+	// strings are unlikely to repeat and would bloat the table.
+	internMaxLen = 64
+	internShards = 16
+	// internShardCap bounds each shard (~2048 * 16 shards = 32Ki
+	// strings process-wide).
+	internShardCap = 2048
+)
+
+// internEntry pairs the canonical string with its pre-boxed `any`
+// form, so value-position strings skip the convTstring allocation.
+type internEntry struct {
+	s   string
+	box any
+}
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]internEntry
+}
+
+var interner [internShards]internShard
+
+// numShard is a bounded cache of boxed numeric values, keyed by the
+// value's 64 bits. int64 and float64 use separate tables (their bit
+// patterns collide).
+type numShard struct {
+	mu sync.RWMutex
+	m  map[uint64]any
+}
+
+var (
+	intBoxes   [internShards]numShard
+	floatBoxes [internShards]numShard
+)
+
+// Intern returns a string equal to b, shared across callers when b is
+// short enough to be worth caching. The returned string is immutable
+// and safe for concurrent use.
+func Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	e, ok := lookupIntern(b)
+	if ok {
+		return e.s
+	}
+	return insertIntern(string(b)).s
+}
+
+// InternValue is Intern returning the string pre-boxed as `any` — for
+// string values headed into a Document, where the interface
+// conversion would otherwise allocate per decode.
+func InternValue(b []byte) any {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	e, ok := lookupIntern(b)
+	if ok {
+		return e.box
+	}
+	return insertIntern(string(b)).box
+}
+
+func internShardFor(b []byte) *internShard {
+	// FNV-1a shard selection: cheap and stable, no per-call state.
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return &interner[h%internShards]
+}
+
+func lookupIntern(b []byte) (internEntry, bool) {
+	s := internShardFor(b)
+	s.mu.RLock()
+	e, ok := s.m[string(b)] // compiler elides the []byte->string copy
+	s.mu.RUnlock()
+	return e, ok
+}
+
+func insertIntern(str string) internEntry {
+	s := internShardFor([]byte(str))
+	e := internEntry{s: str, box: str}
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]internEntry, 64)
+	}
+	if have, ok := s.m[str]; ok {
+		s.mu.Unlock()
+		return have
+	}
+	if len(s.m) < internShardCap {
+		s.m[str] = e
+	}
+	s.mu.Unlock()
+	return e
+}
+
+// numShardFor spreads sequential values across shards with a
+// multiplicative hash.
+func numShardFor(tbl *[internShards]numShard, key uint64) *numShard {
+	return &tbl[(key*0x9E3779B97F4A7C15)>>59&(internShards-1)]
+}
+
+// lookupNum returns the cached box for key, if present.
+func lookupNum(s *numShard, key uint64) (any, bool) {
+	s.mu.RLock()
+	box, ok := s.m[key]
+	s.mu.RUnlock()
+	return box, ok
+}
+
+// insertNum stores box under key (bounded), returning the canonical
+// box. The caller pays the one boxing allocation on this miss path.
+func insertNum(s *numShard, key uint64, box any) any {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[uint64]any, 64)
+	}
+	if have, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return have
+	}
+	if len(s.m) < internShardCap {
+		s.m[key] = box
+	}
+	s.mu.Unlock()
+	return box
+}
+
+// InternInt64 returns v boxed as `any`, sharing the box for repeated
+// values. Values below 256 ride Go's built-in static boxes; others
+// come from the bounded cache. Boxing happens only on the miss path.
+func InternInt64(v int64) any {
+	if uint64(v) < 256 {
+		return v // runtime.convT64's static cache: no allocation
+	}
+	s := numShardFor(&intBoxes, uint64(v))
+	if box, ok := lookupNum(s, uint64(v)); ok {
+		return box
+	}
+	return insertNum(s, uint64(v), v)
+}
+
+// InternFloat64 returns f boxed as `any` from the bounded cache.
+func InternFloat64(f float64) any {
+	key := math.Float64bits(f)
+	s := numShardFor(&floatBoxes, key)
+	if box, ok := lookupNum(s, key); ok {
+		return box
+	}
+	return insertNum(s, key, f)
+}

@@ -24,8 +24,13 @@ import (
 // pipelined onto the socket and a demux goroutine matches responses
 // back to callers by request id, so concurrent operations keep many
 // requests in flight without a connection per caller.
+//
+// Dial negotiates protocol v2 (binary bodies, BSON-lite documents) and
+// falls back to v1 JSON when the server predates the handshake;
+// DialJSON forces v1 for debugging and comparative benchmarks.
 type Client struct {
 	addr    string
+	maxVer  byte
 	nextID  atomic.Uint64
 	topoTTL time.Duration
 
@@ -42,6 +47,7 @@ type Client struct {
 // delivers each to the caller registered under its id.
 type muxConn struct {
 	c      net.Conn
+	binary bool // negotiated protocol ≥ V2
 	wmu    sync.Mutex
 	bw     *bufio.Writer
 	queued atomic.Int32 // senders in or waiting for send(); last one out flushes
@@ -53,16 +59,39 @@ type muxConn struct {
 
 // send writes one frame. Flushing is deferred to the last queued
 // sender, so a burst of concurrent requests coalesces into one
-// syscall instead of one per frame.
+// syscall instead of one per frame. Binary frames are staged in a
+// pooled buffer (header and body in one slice, so the write is a
+// single copy into the shared writer).
 func (mc *muxConn) send(req *Request) error {
+	if !mc.binary {
+		mc.queued.Add(1)
+		mc.wmu.Lock()
+		defer mc.wmu.Unlock()
+		err := WriteFrame(mc.bw, req)
+		if mc.queued.Add(-1) == 0 && err == nil {
+			err = mc.bw.Flush()
+		}
+		return err
+	}
+	p := getBuf()
+	buf, err := encodeRequest(beginFrame((*p)[:0]), req)
+	if err == nil {
+		err = finishFrame(buf, 0)
+	}
+	if err != nil {
+		putBuf(p)
+		return err
+	}
+	*p = buf
 	mc.queued.Add(1)
 	mc.wmu.Lock()
-	defer mc.wmu.Unlock()
-	err := WriteFrame(mc.bw, req)
-	if mc.queued.Add(-1) == 0 && err == nil {
-		err = mc.bw.Flush()
+	_, werr := mc.bw.Write(buf)
+	if mc.queued.Add(-1) == 0 && werr == nil {
+		werr = mc.bw.Flush()
 	}
-	return err
+	mc.wmu.Unlock()
+	putBuf(p)
+	return werr
 }
 
 // register files a response channel for a request id.
@@ -78,11 +107,24 @@ func (mc *muxConn) register(id uint64) (chan *Response, error) {
 }
 
 // demux delivers response frames to their registered callers until the
-// connection dies, then fails every outstanding caller.
+// connection dies, then fails every outstanding caller. Frames are
+// read into a per-connection reused buffer; decoding copies what it
+// keeps, so the buffer never escapes a loop iteration.
 func (mc *muxConn) demux() {
+	fr := &frameReader{r: bufio.NewReader(mc.c)}
 	for {
-		var resp Response
-		if err := ReadFrame(mc.c, &resp); err != nil {
+		body, err := fr.next()
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+		resp := &Response{}
+		if mc.binary {
+			err = decodeResponse(body, resp)
+		} else {
+			err = decodeJSONBody(body, resp)
+		}
+		if err != nil {
 			mc.fail(err)
 			return
 		}
@@ -91,7 +133,7 @@ func (mc *muxConn) demux() {
 		delete(mc.pending, resp.ID)
 		mc.pmu.Unlock()
 		if ok {
-			ch <- &resp
+			ch <- resp
 		}
 	}
 }
@@ -136,12 +178,38 @@ var (
 )
 
 // Dial connects to a wire server and fetches the initial topology.
+// The connection negotiates the binary protocol (v2) and falls back
+// to v1 JSON against servers that predate the handshake.
 func Dial(addr string) (*Client, error) {
-	cl := &Client{addr: addr, topoTTL: 5 * time.Second}
+	return dial(addr, V2)
+}
+
+// DialJSON connects speaking only protocol v1 (JSON bodies). Intended
+// for debug tooling and comparative benchmarks; the JSON codec is
+// otherwise a compatibility fallback.
+func DialJSON(addr string) (*Client, error) {
+	return dial(addr, V1)
+}
+
+func dial(addr string, maxVer byte) (*Client, error) {
+	cl := &Client{addr: addr, maxVer: maxVer, topoTTL: 5 * time.Second}
 	if err := cl.refreshTopology(); err != nil {
 		return nil, err
 	}
 	return cl, nil
+}
+
+// Version reports the negotiated protocol version of the live shared
+// connection, dialing one if needed.
+func (cl *Client) Version() (int, error) {
+	mc, err := cl.getMux()
+	if err != nil {
+		return 0, err
+	}
+	if mc.binary {
+		return V2, nil
+	}
+	return V1, nil
 }
 
 // Close shuts the shared connection; outstanding callers fail.
@@ -167,14 +235,49 @@ func (cl *Client) getMux() (*muxConn, error) {
 	if cl.conn != nil && !cl.conn.broken() {
 		return cl.conn, nil
 	}
+	mc, err := cl.dialMux()
+	if err != nil {
+		return nil, err
+	}
+	cl.conn = mc
+	return mc, nil
+}
+
+// dialMux dials and, when the client speaks v2, runs the version
+// handshake. A server that predates the handshake reads the hello
+// magic as an oversized frame length and drops the connection — the
+// client takes any handshake failure as that signal and redials in
+// plain JSON mode, so new clients interoperate with old servers.
+func (cl *Client) dialMux() (*muxConn, error) {
 	c, err := net.Dial("tcp", cl.addr)
 	if err != nil {
 		return nil, err
 	}
-	mc := &muxConn{c: c, bw: bufio.NewWriter(c), pending: map[uint64]chan *Response{}}
+	ver := byte(V1)
+	if cl.maxVer >= V2 {
+		ver, err = clientHandshake(c, cl.maxVer)
+		if err != nil {
+			c.Close()
+			if c, err = net.Dial("tcp", cl.addr); err != nil {
+				return nil, err
+			}
+			ver = V1
+		}
+	}
+	mc := &muxConn{
+		c: c, binary: ver >= V2,
+		bw:      bufio.NewWriter(c),
+		pending: map[uint64]chan *Response{},
+	}
 	go mc.demux()
-	cl.conn = mc
 	return mc, nil
+}
+
+func clientHandshake(c net.Conn, maxVer byte) (byte, error) {
+	if err := writeHello(c, maxVer); err != nil {
+		return 0, err
+	}
+	return readHelloReply(c)
 }
 
 // roundTrip pipelines one request onto the shared connection and
@@ -414,7 +517,7 @@ func (v *remoteReadView) FindByID(collection, id string) (storage.Document, bool
 	if !resp.Found {
 		return nil, false
 	}
-	doc, err := jsonToDoc(resp.Doc)
+	doc, err := resp.document()
 	if err != nil {
 		v.fail(err)
 		return nil, false
@@ -443,24 +546,24 @@ func (v *remoteReadView) FindManyByID(collection string, ids []string) []storage
 		return nil
 	}
 	v.observe(resp)
-	return v.decodeDocs(resp.Docs)
+	return v.respDocs(resp)
 }
 
 func (v *remoteReadView) Find(collection string, f storage.Filter, limit int) []storage.Document {
 	req := v.request(OpFind)
-	req.Collection, req.Filter, req.Limit = collection, EncodeFilter(f), limit
+	req.Collection, req.filter, req.Limit = collection, f, limit
 	resp, err := v.cl.roundTrip(req)
 	if err != nil {
 		v.fail(err)
 		return nil
 	}
 	v.observe(resp)
-	return v.decodeDocs(resp.Docs)
+	return v.respDocs(resp)
 }
 
 func (v *remoteReadView) Count(collection string, f storage.Filter) int {
 	req := v.request(OpCount)
-	req.Collection, req.Filter = collection, EncodeFilter(f)
+	req.Collection, req.filter = collection, f
 	resp, err := v.cl.roundTrip(req)
 	if err != nil {
 		v.fail(err)
@@ -472,21 +575,21 @@ func (v *remoteReadView) Count(collection string, f storage.Filter) int {
 
 func (v *remoteReadView) AddUnits(int) {} // costs are charged server-side
 
-func (v *remoteReadView) decodeDocs(raw []map[string]any) []storage.Document {
-	out := make([]storage.Document, 0, len(raw))
-	for _, m := range raw {
-		d, err := jsonToDoc(m)
-		if err != nil {
-			v.fail(err)
-			return nil
-		}
-		out = append(out, d)
+// respDocs extracts a response's documents, whichever codec delivered
+// them, folding conversion errors into the view's sticky error.
+func (v *remoteReadView) respDocs(resp *Response) []storage.Document {
+	docs, err := resp.documents()
+	if err != nil {
+		v.fail(err)
+		return nil
 	}
-	return out
+	return docs
 }
 
 // remoteWriteTxn buffers mutations client-side; ExecWrite ships them
-// as one batch.
+// as one batch. Documents stay in canonical storage form — the binary
+// codec encodes them directly, and the v1 codec converts to JSON maps
+// at marshal time.
 type remoteWriteTxn struct {
 	remoteReadView
 	muts []Mutation
@@ -497,7 +600,7 @@ func (t *remoteWriteTxn) Insert(collection string, doc storage.Document) error {
 	if err != nil {
 		return err
 	}
-	t.muts = append(t.muts, Mutation{Kind: "insert", Collection: collection, Doc: docToJSON(norm)})
+	t.muts = append(t.muts, Mutation{Kind: "insert", Collection: collection, doc: norm})
 	return nil
 }
 
@@ -506,7 +609,7 @@ func (t *remoteWriteTxn) Set(collection, id string, fields storage.Document) err
 	if err != nil {
 		return err
 	}
-	t.muts = append(t.muts, Mutation{Kind: "set", Collection: collection, DocID: id, Doc: docToJSON(norm)})
+	t.muts = append(t.muts, Mutation{Kind: "set", Collection: collection, DocID: id, doc: norm})
 	return nil
 }
 

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"testing"
+
+	"decongestant/internal/storage"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the v2 body decoders. The
+// contract under corruption is: return an error, never panic, and
+// never let an attacker-controlled count force a huge allocation (all
+// counts are sanity-checked against the bytes that could back them
+// before any make()).
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with valid encodings so mutation explores near-miss frames.
+	req := Request{
+		ID: 9, Op: OpFind, Node: 1, Collection: "orders", DocID: "d",
+		IDs: []string{"a", "b"}, Limit: 3, AfterSecs: 7, AfterInc: 1,
+	}
+	req.filter = storage.Filter{"w": storage.Eq(int64(2)), "s": storage.In("x", "y")}
+	if body, err := encodeRequest(nil, &req); err == nil {
+		f.Add(body)
+	}
+	doc, _ := storage.D{
+		"_id": "z", "n": int64(5), "f": 1.5, "b": []byte{1, 2},
+		"arr": []any{int64(1), "s"}, "sub": storage.D{"k": true},
+	}.Normalized()
+	resp := Response{ID: 4, Found: true, OpSecs: 3, OpInc: 2}
+	resp.doc = doc
+	resp.docs = []storage.Document{doc}
+	if body, err := encodeResponse(nil, &resp); err == nil {
+		f.Add(body)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{rqIDs, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})  // huge count, no bytes
+	f.Add([]byte{rsDocs, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // huge doc count
+	f.Add([]byte{rqFilter, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var rq Request
+		_ = decodeRequest(body, &rq) // must not panic
+		var rs Response
+		_ = decodeResponse(body, &rs) // must not panic
+		_, _, _ = storage.DecodeDocPrefix(body)
+		_, _, _ = storage.DecodeValue(body)
+	})
+}

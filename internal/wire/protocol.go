@@ -1,17 +1,27 @@
-// Package wire exposes a replica set over TCP with a length-prefixed
-// JSON protocol, and provides a network client that implements the
-// same driver.Conn interface as the in-process cluster — so
-// Decongestant's Read Balancer and Router run unchanged against a
-// remote deployment. Reads issue one round trip per operation; write
-// transactions buffer mutations client-side and commit them with a
-// single batch request, like a real driver's transaction API.
+// Package wire exposes a replica set over TCP and provides a network
+// client that implements the same driver.Conn interface as the
+// in-process cluster — so Decongestant's Read Balancer and Router run
+// unchanged against a remote deployment. Reads issue one round trip
+// per operation; write transactions buffer mutations client-side and
+// commit them with a single batch request, like a real driver's
+// transaction API.
+//
+// Two codecs share one frame format (4-byte length prefix + body):
+// protocol v1 encodes bodies as JSON, v2 as hand-rolled binary with
+// BSON-lite document payloads. The version is negotiated per
+// connection by a client hello (see frame.go); servers keep speaking
+// v1 to clients that never send one, so old clients and debug tooling
+// keep working.
 package wire
 
 import (
+	"bytes"
+	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"decongestant/internal/obs"
 	"decongestant/internal/storage"
@@ -48,12 +58,38 @@ type Cond struct {
 	Values []any  `json:"values,omitempty"`
 }
 
-// Mutation is the wire form of one buffered write.
+// Mutation is the wire form of one buffered write. Doc is the JSON
+// (v1) document form; the client fills only the typed doc field and
+// the v1 codec converts at marshal time, so the binary path never
+// builds the JSON map.
 type Mutation struct {
 	Kind       string         `json:"kind"` // insert | set | delete
 	Collection string         `json:"collection"`
 	DocID      string         `json:"doc_id,omitempty"`
 	Doc        map[string]any `json:"doc,omitempty"`
+
+	doc storage.Document // canonical form; encoded directly by v2
+}
+
+// MarshalJSON materializes the JSON document form from the typed one
+// when only the latter is set (a v1 connection sending a client-built
+// mutation).
+func (m Mutation) MarshalJSON() ([]byte, error) {
+	type wireMutation Mutation // drop methods to avoid recursion
+	cp := wireMutation(m)
+	if cp.Doc == nil && m.doc != nil {
+		cp.Doc = docToJSON(m.doc)
+	}
+	return json.Marshal(cp)
+}
+
+// document returns the mutation's payload in canonical form,
+// whichever codec delivered it.
+func (m *Mutation) document() (storage.Document, error) {
+	if m.doc != nil {
+		return m.doc, nil
+	}
+	return jsonToDoc(m.Doc)
 }
 
 // Request is one client->server frame.
@@ -74,6 +110,33 @@ type Request struct {
 	// Source names the pusher for metrics_push; Snapshot is its payload.
 	Source   string        `json:"source,omitempty"`
 	Snapshot *obs.Snapshot `json:"snapshot,omitempty"`
+
+	// filter is the typed form of Filter. The client fills only this;
+	// the v2 codec encodes it directly (conditions travel as BSON-lite
+	// values, decoded once server-side without re-normalization) and
+	// the v1 codec converts at marshal time.
+	filter storage.Filter
+}
+
+// MarshalJSON materializes the JSON filter form from the typed one
+// when only the latter is set (a v1 connection sending a client-built
+// request).
+func (r *Request) MarshalJSON() ([]byte, error) {
+	type wireRequest Request // drop methods to avoid recursion
+	cp := wireRequest(*r)
+	if cp.Filter == nil && r.filter != nil {
+		cp.Filter = EncodeFilter(r.filter)
+	}
+	return json.Marshal(&cp)
+}
+
+// filterValue returns the request's filter in storage form, whichever
+// codec delivered it.
+func (r *Request) filterValue() (storage.Filter, error) {
+	if r.filter != nil {
+		return r.filter, nil
+	}
+	return DecodeFilter(r.Filter)
 }
 
 // Member is the wire form of a serverStatus member row.
@@ -114,6 +177,43 @@ type Response struct {
 	OpInc  uint32 `json:"op_inc,omitempty"`
 	// Metrics is the observability snapshot for the metrics op.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+
+	// Typed document results, used by the v2 codec in both directions:
+	// the server fills rawDoc/rawDocs with cached BSON-lite encodings
+	// (or doc/docs when it must materialize), and the client's decoder
+	// fills doc/docs — no JSON map form ever exists on that path.
+	doc     storage.Document
+	docs    []storage.Document
+	rawDoc  []byte
+	rawDocs [][]byte
+}
+
+// document returns the single-document result in canonical form,
+// whichever codec delivered it.
+func (r *Response) document() (storage.Document, error) {
+	if r.doc != nil {
+		return r.doc, nil
+	}
+	return jsonToDoc(r.Doc)
+}
+
+// documents returns the multi-document result in canonical form.
+func (r *Response) documents() ([]storage.Document, error) {
+	if r.docs != nil {
+		return r.docs, nil
+	}
+	if r.Docs == nil {
+		return nil, nil
+	}
+	out := make([]storage.Document, 0, len(r.Docs))
+	for _, m := range r.Docs {
+		d, err := jsonToDoc(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }
 
 // WriteFrame sends one JSON message with a 4-byte length prefix.
@@ -148,7 +248,17 @@ func ReadFrame(r io.Reader, v any) error {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return err
 	}
-	if err := json.Unmarshal(body, v); err != nil {
+	return decodeJSONBody(body, v)
+}
+
+// decodeJSONBody unmarshals a v1 frame body. Numbers inside untyped
+// document maps decode as json.Number so int64 values above 2^53
+// survive the trip (a plain float64 coercion would corrupt them);
+// jsonValue converts them back to int64/float64.
+func decodeJSONBody(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("wire: unmarshal: %w", err)
 	}
 	return nil
@@ -177,13 +287,13 @@ func DecodeFilter(m map[string]Cond) (storage.Filter, error) {
 		if err != nil {
 			return nil, err
 		}
-		val, err := storage.Normalize(c.Value)
+		val, err := jsonValue(c.Value)
 		if err != nil {
 			return nil, err
 		}
 		vals := make([]any, len(c.Values))
 		for i, v := range c.Values {
-			if vals[i], err = storage.Normalize(v); err != nil {
+			if vals[i], err = jsonValue(v); err != nil {
 				return nil, err
 			}
 		}
@@ -239,9 +349,18 @@ func opValue(name string) (storage.Op, error) {
 	return 0, fmt.Errorf("wire: unknown filter op %q", name)
 }
 
-// docToJSON converts a storage.Document to a JSON-safe map. BSON-lite
-// []byte values become base64 via encoding/json's default; nested
-// documents convert recursively.
+// bytesTag marks a []byte value in the JSON (v1) document form:
+// {"$bytes": "<base64>"}. encoding/json's default would base64 the
+// bytes but decode them back as a plain string, silently changing the
+// value's type; the tag makes the round trip lossless. A user document
+// whose value is itself a single-key map literally named "$bytes" with
+// a string value would be misread — protocol v2 has no such ambiguity
+// (bytes are a native BSON-lite type).
+const bytesTag = "$bytes"
+
+// docToJSON converts a storage.Document to a JSON-safe map. []byte
+// values become tagged base64 objects; nested documents convert
+// recursively.
 func docToJSON(d storage.Document) map[string]any {
 	if d == nil {
 		return nil
@@ -259,6 +378,8 @@ func valueToJSON(v any) any {
 		return docToJSON(x)
 	case map[string]any:
 		return docToJSON(storage.Document(x))
+	case []byte:
+		return map[string]any{bytesTag: base64.StdEncoding.EncodeToString(x)}
 	case []any:
 		arr := make([]any, len(x))
 		for i, e := range x {
@@ -290,12 +411,31 @@ func jsonToDoc(m map[string]any) (storage.Document, error) {
 
 func jsonValue(v any) (any, error) {
 	switch x := v.(type) {
+	case json.Number:
+		// Integers decode exactly (UseNumber avoids the float64 detour
+		// that corrupts values above 2^53); non-integers fall back to
+		// float64.
+		if i, err := strconv.ParseInt(string(x), 10, 64); err == nil {
+			return i, nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("wire: bad number %q", string(x))
+		}
+		return f, nil
 	case float64:
 		if x == float64(int64(x)) {
 			return int64(x), nil
 		}
 		return x, nil
 	case map[string]any:
+		if b64, ok := x[bytesTag].(string); ok && len(x) == 1 {
+			raw, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, fmt.Errorf("wire: bad %s value: %w", bytesTag, err)
+			}
+			return raw, nil
+		}
 		return jsonToDoc(x)
 	case []any:
 		arr := make([]any, len(x))

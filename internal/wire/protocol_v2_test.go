@@ -1,0 +1,502 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/obs"
+	"decongestant/internal/storage"
+)
+
+// allTypesDoc exercises every value type of the canonical document
+// model: nil, both bools, int64 (including values above 2^53, which a
+// float64 detour would corrupt), float64, string, []byte, arrays and
+// nested documents.
+func allTypesDoc(id string) storage.D {
+	return storage.D{
+		"_id":   id,
+		"nil":   nil,
+		"true":  true,
+		"false": false,
+		"int":   int64(-42),
+		"big":   int64(1)<<53 + 1,
+		"float": 2.718281828,
+		"str":   "héllo, wire",
+		"bytes": []byte{0x00, 0x01, 0xFE, 0xFF, '$'},
+		"arr":   []any{int64(1), "two", 3.5, []byte{9}, storage.D{"in": true}},
+		"doc":   storage.D{"nested": storage.D{"deep": int64(7)}, "b": []byte("raw")},
+	}
+}
+
+// insertDoc writes one document through the client's transaction API.
+func insertDoc(t *testing.T, cl *Client, doc storage.D) {
+	t.Helper()
+	if _, err := cl.ExecWrite(nil, func(tx cluster.WriteTxn) (any, error) {
+		return nil, tx.Insert("types", doc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readDoc fetches one document by id from the primary.
+func readDoc(t *testing.T, cl *Client, id string) storage.Document {
+	t.Helper()
+	res, err := cl.ExecRead(nil, cl.PrimaryID(), func(v cluster.ReadView) (any, error) {
+		d, ok := v.FindByID("types", id)
+		if !ok {
+			return nil, fmt.Errorf("doc %s missing", id)
+		}
+		return d, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.(storage.Document)
+}
+
+// TestValueTypesRoundTripBothCodecs writes and reads a document
+// holding every supported value type over each protocol version and
+// over the version cross (written by one, read by the other) —
+// detecting any codec that is lossy in either direction. The JSON
+// fallback's weak spots are []byte (tagged as {"$bytes": base64}) and
+// large int64s (json.Number, not float64); v2 carries both natively.
+func TestValueTypesRoundTripBothCodecs(t *testing.T) {
+	_, _, addr, stop := startTestServer(t)
+	defer stop()
+
+	v2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	v1, err := DialJSON(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+
+	if ver, _ := v2.Version(); ver != V2 {
+		t.Fatalf("Dial negotiated v%d, want v%d", ver, V2)
+	}
+	if ver, _ := v1.Version(); ver != V1 {
+		t.Fatalf("DialJSON negotiated v%d, want v%d", ver, V1)
+	}
+
+	writers := map[string]*Client{"w2": v2, "w1": v1}
+	readers := map[string]*Client{"r2": v2, "r1": v1}
+	for wname, w := range writers {
+		id := "all-" + wname
+		want, err := allTypesDoc(id).Normalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		insertDoc(t, w, allTypesDoc(id))
+		for rname, r := range readers {
+			got := readDoc(t, r, id)
+			if !storage.Equal(want, got) {
+				t.Fatalf("%s->%s round trip mismatch:\n want %v\n got  %v", wname, rname, want, got)
+			}
+			if _, ok := got["bytes"].([]byte); !ok {
+				t.Fatalf("%s->%s: bytes value decoded as %T", wname, rname, got["bytes"])
+			}
+		}
+	}
+}
+
+// TestInt64PrecisionOverJSON pins the regression where the v1 codec
+// decoded all numbers through float64, so 2^53+1 came back as 2^53.
+func TestInt64PrecisionOverJSON(t *testing.T) {
+	_, _, addr, stop := startTestServer(t)
+	defer stop()
+	cl, err := DialJSON(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const big = int64(1)<<53 + 1
+	insertDoc(t, cl, storage.D{"_id": "big", "v": big})
+	got := readDoc(t, cl, "big")
+	v, ok := got["v"].(int64)
+	if !ok {
+		t.Fatalf("value decoded as %T", got["v"])
+	}
+	if v != big {
+		t.Fatalf("int64 precision lost over JSON: got %d, want %d", v, big)
+	}
+}
+
+// TestMixedVersionClients runs v1 and v2 clients concurrently against
+// one server, each pipelining point reads, finds and writes over its
+// shared connection — the compatibility matrix under -race.
+func TestMixedVersionClients(t *testing.T) {
+	_, rs, addr, stop := startTestServer(t)
+	defer stop()
+	err := rs.Bootstrap(func(s *storage.Store) error {
+		c := s.C("mixed")
+		for i := 0; i < 64; i++ {
+			if err := c.Insert(storage.D{
+				"_id": fmt.Sprintf("m%03d", i), "g": int64(i % 8), "v": int64(i),
+			}); err != nil {
+				return err
+			}
+		}
+		_, err := c.CreateIndex("g", false, "g")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clients := make([]*Client, 0, 4)
+	for i := 0; i < 2; i++ {
+		v2, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := DialJSON(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, v2, v1)
+	}
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
+
+	const workers, iters = 4, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, len(clients)*workers)
+	for ci, cl := range clients {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(cl *Client, seed int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					id := fmt.Sprintf("m%03d", (seed*31+i)%64)
+					_, err := cl.ExecRead(nil, 0, func(v cluster.ReadView) (any, error) {
+						if _, ok := v.FindByID("mixed", id); !ok {
+							return nil, fmt.Errorf("missing %s", id)
+						}
+						docs := v.Find("mixed", storage.Filter{"g": storage.Eq(int64(seed % 8))}, 0)
+						if len(docs) == 0 {
+							return nil, fmt.Errorf("empty group %d", seed%8)
+						}
+						return nil, nil
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if i%8 == 0 {
+						_, err := cl.ExecWrite(nil, func(tx cluster.WriteTxn) (any, error) {
+							return nil, tx.Set("mixed", id, storage.D{"touched": int64(seed)})
+						})
+						if err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}(cl, ci*workers+w)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// snapshotReading finds one instrument in a snapshot by exact name.
+func snapshotReading(snap obs.Snapshot, name string) (obs.Instrument, bool) {
+	for _, ins := range snap.Instruments {
+		if ins.Name == name {
+			return ins, true
+		}
+	}
+	return obs.Instrument{}, false
+}
+
+// TestWireTransportInstruments drives traffic over both protocol
+// versions and asserts the transport telemetry — per-version
+// connection gauges, frame/byte volume and decode errors — through
+// the ordinary metrics op.
+func TestWireTransportInstruments(t *testing.T) {
+	_, _, addr, stop := startTestServer(t)
+	defer stop()
+	v2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	v1, err := DialJSON(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	insertDoc(t, v2, storage.D{"_id": "x", "v": int64(1)})
+	readDoc(t, v1, "x")
+
+	snap, err := v2.FetchMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct {
+		name string
+		kind string
+	}{
+		{obs.Name("wire.conns", "ver", "1"), obs.KindGauge},
+		{obs.Name("wire.conns", "ver", "2"), obs.KindGauge},
+		{"wire.frames_in", obs.KindCounter},
+		{"wire.frames_out", obs.KindCounter},
+		{"wire.bytes_in", obs.KindCounter},
+		{"wire.bytes_out", obs.KindCounter},
+		{"wire.decode_errors", obs.KindCounter},
+	} {
+		ins, ok := snapshotReading(snap, want.name)
+		if !ok {
+			t.Fatalf("instrument %q missing from metrics", want.name)
+		}
+		if ins.Kind != want.kind {
+			t.Fatalf("instrument %q is a %s, want %s", want.name, ins.Kind, want.kind)
+		}
+	}
+	if g, _ := snapshotReading(snap, obs.Name("wire.conns", "ver", "1")); g.Value != 1 {
+		t.Fatalf("v1 conn gauge = %d, want 1", g.Value)
+	}
+	if g, _ := snapshotReading(snap, obs.Name("wire.conns", "ver", "2")); g.Value != 1 {
+		t.Fatalf("v2 conn gauge = %d, want 1", g.Value)
+	}
+	fin, _ := snapshotReading(snap, "wire.frames_in")
+	fout, _ := snapshotReading(snap, "wire.frames_out")
+	bin, _ := snapshotReading(snap, "wire.bytes_in")
+	if fin.Count == 0 || fout.Count == 0 || bin.Count == 0 {
+		t.Fatalf("zero frame/byte volume: in=%d out=%d bytes_in=%d", fin.Count, fout.Count, bin.Count)
+	}
+
+	// A corrupt binary frame must bump the decode-error counter and
+	// drop only the offending connection.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clientHandshake(raw, V2); err != nil {
+		t.Fatal(err)
+	}
+	// Length-prefixed garbage: tag 99 is not a request field.
+	if _, err := raw.Write([]byte{0, 0, 0, 2, 99, 99}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server kept a connection that sent a corrupt frame")
+	}
+	raw.Close()
+
+	snap, err = v2.FetchMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	derr, _ := snapshotReading(snap, "wire.decode_errors")
+	if derr.Count == 0 {
+		t.Fatal("decode_errors not incremented by corrupt frame")
+	}
+}
+
+// TestHandshakeFallbackAgainstV1OnlyServer simulates an old server
+// that predates negotiation: it treats the hello magic as an oversized
+// frame length and hangs up, and the client must transparently redial
+// in JSON mode.
+func TestHandshakeFallbackAgainstV1OnlyServer(t *testing.T) {
+	_, _, addr, stop := startTestServer(t)
+	defer stop()
+
+	// Proxy that emulates the pre-handshake server loop: read a 4-byte
+	// length, reject oversized frames by closing — exactly what the old
+	// ReadFrame did with the magic — and otherwise forward bytes to the
+	// real server over a JSON connection.
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pln.Close()
+	go func() {
+		for {
+			c, err := pln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				head := make([]byte, 4)
+				if _, err := io.ReadFull(c, head); err != nil {
+					return
+				}
+				n := uint32(head[0])<<24 | uint32(head[1])<<16 | uint32(head[2])<<8 | uint32(head[3])
+				if n > MaxFrame {
+					return // old server: oversized frame, hang up
+				}
+				up, err := net.Dial("tcp", addr)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				if _, err := up.Write(head); err != nil {
+					return
+				}
+				go io.Copy(up, c)
+				io.Copy(c, up)
+			}(c)
+		}
+	}()
+
+	cl, err := Dial(pln.Addr().String())
+	if err != nil {
+		t.Fatalf("client did not fall back to JSON against v1-only server: %v", err)
+	}
+	defer cl.Close()
+	if ver, _ := cl.Version(); ver != V1 {
+		t.Fatalf("negotiated v%d through v1-only server, want v%d", ver, V1)
+	}
+	insertDoc(t, cl, storage.D{"_id": "fb", "v": int64(9)})
+	got := readDoc(t, cl, "fb")
+	if got["v"] != int64(9) {
+		t.Fatalf("fallback read returned %v", got)
+	}
+}
+
+// TestBinaryFilterOps checks every filter operator survives the v2
+// codec (conditions travel as BSON-lite values, not JSON).
+func TestBinaryFilterOps(t *testing.T) {
+	f := storage.Filter{
+		"a": storage.Eq(int64(5)),
+		"b": storage.Ne("x"),
+		"c": storage.Gt(1.5),
+		"d": storage.Gte(int64(2)),
+		"e": storage.Lt(int64(10)),
+		"f": storage.Lte(int64(10)),
+		"g": storage.In(int64(1), "two", 3.0),
+		"h": storage.Exists(),
+	}
+	enc, err := appendFilter(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, rest, err := decodeFilter(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if len(dec) != len(f) {
+		t.Fatalf("decoded %d conds, want %d", len(dec), len(f))
+	}
+	match, err := storage.D{
+		"a": int64(5), "b": "y", "c": 2.0, "d": int64(2),
+		"e": int64(9), "f": int64(10), "g": "two", "h": nil,
+	}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Matches(match) {
+		t.Fatal("decoded filter rejects matching doc")
+	}
+	if dec.Matches(storage.D{"a": int64(6)}) {
+		t.Fatal("decoded filter accepts non-matching doc")
+	}
+}
+
+// TestBinaryRequestResponseRoundTrip covers the non-document request
+// and response fields end to end through the v2 body codec.
+func TestBinaryRequestResponseRoundTrip(t *testing.T) {
+	in := Request{
+		ID: 12345, Op: OpFind, Node: 2, Collection: "orders", DocID: "d1",
+		IDs: []string{"a", "b", "c"}, Limit: 7,
+		AfterSecs: 99, AfterInc: 3, Source: "bal",
+	}
+	in.filter = storage.Filter{"w": storage.Eq(int64(4))}
+	body, err := encodeRequest(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := decodeRequest(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Op != in.Op || out.Node != in.Node ||
+		out.Collection != in.Collection || out.DocID != in.DocID ||
+		out.Limit != in.Limit || out.AfterSecs != in.AfterSecs ||
+		out.AfterInc != in.AfterInc || out.Source != in.Source ||
+		len(out.IDs) != 3 || out.IDs[2] != "c" || out.filter == nil {
+		t.Fatalf("request mismatch: %+v", out)
+	}
+
+	// Unknown op names travel by string so the server can reject them
+	// with its usual error, not a frame error.
+	bogus := Request{ID: 1, Op: "bogus"}
+	body, err = encodeRequest(nil, &bogus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bout Request
+	if err := decodeRequest(body, &bout); err != nil {
+		t.Fatal(err)
+	}
+	if bout.Op != "bogus" {
+		t.Fatalf("unknown op travelled as %q", bout.Op)
+	}
+
+	doc, err := allTypesDoc("r1").Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := Response{
+		ID: 54321, Err: "boom", Found: true, Count: 11,
+		OpSecs: 77, OpInc: 5,
+		Topo:   &Topology{Primary: 1, Zones: []string{"z0", "z1"}},
+		Status: &StatusBody{From: 1, Primary: 0, Members: []Member{{ID: 0, Primary: true, Secs: 9, Inc: 2}}},
+	}
+	resp.doc = doc
+	resp.docs = []storage.Document{doc, doc}
+	body, err = encodeResponse(nil, &resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rout Response
+	if err := decodeResponse(body, &rout); err != nil {
+		t.Fatal(err)
+	}
+	if rout.ID != resp.ID || rout.Err != resp.Err || !rout.Found ||
+		rout.Count != resp.Count || rout.OpSecs != resp.OpSecs || rout.OpInc != resp.OpInc {
+		t.Fatalf("response scalar mismatch: %+v", rout)
+	}
+	if rout.Topo == nil || rout.Topo.Primary != 1 || strings.Join(rout.Topo.Zones, ",") != "z0,z1" {
+		t.Fatalf("topo mismatch: %+v", rout.Topo)
+	}
+	if rout.Status == nil || len(rout.Status.Members) != 1 || !rout.Status.Members[0].Primary {
+		t.Fatalf("status mismatch: %+v", rout.Status)
+	}
+	gotDoc, err := rout.document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !storage.Equal(doc, gotDoc) {
+		t.Fatalf("doc mismatch: %v", gotDoc)
+	}
+	gotDocs, err := rout.documents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotDocs) != 2 || !storage.Equal(doc, gotDocs[1]) {
+		t.Fatalf("docs mismatch: %v", gotDocs)
+	}
+}

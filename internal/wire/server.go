@@ -19,8 +19,12 @@ import (
 // Server exposes a replica set (running on a real-time environment)
 // over TCP. Connections are pipelined: a reader goroutine decodes
 // frames, each request is dispatched on its own proc, and id-tagged
-// responses stream back through a buffered writer in completion
-// order — so one socket carries many requests in flight.
+// responses stream back in completion order — so one socket carries
+// many requests in flight. Each connection speaks the protocol version
+// negotiated by its opening handshake: v2 responses are encoded into
+// pooled buffers and flushed in bursts through one writev, and
+// document payloads come from the storage layer's encoding cache; v1
+// connections keep the original JSON codec.
 type Server struct {
 	env *sim.RealtimeEnv
 	rs  *cluster.ReplicaSet
@@ -31,6 +35,15 @@ type Server struct {
 	// protocol land in the "other" bucket.
 	opCounts map[string]*obs.Counter
 	opLat    map[string]*obs.Histogram
+
+	// Transport instruments: live connections by negotiated version,
+	// frame and byte volume each way, and bodies that failed to decode.
+	connsByVer [V2 + 1]*obs.Gauge
+	framesIn   *obs.Counter
+	framesOut  *obs.Counter
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	decodeErrs *obs.Counter
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -65,6 +78,13 @@ func NewServer(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger)
 		s.opCounts[op] = reg.Counter(obs.Name("wire.requests", "op", op))
 		s.opLat[op] = reg.Histogram(obs.Name("wire.request_latency", "op", op))
 	}
+	s.connsByVer[V1] = reg.Gauge(obs.Name("wire.conns", "ver", "1"))
+	s.connsByVer[V2] = reg.Gauge(obs.Name("wire.conns", "ver", "2"))
+	s.framesIn = reg.Counter("wire.frames_in")
+	s.framesOut = reg.Counter("wire.frames_out")
+	s.bytesIn = reg.Counter("wire.bytes_in")
+	s.bytesOut = reg.Counter("wire.bytes_out")
+	s.decodeErrs = reg.Counter("wire.decode_errors")
 	return s
 }
 
@@ -127,16 +147,47 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	br := bufio.NewReader(conn)
+	ver, err := negotiate(br, conn)
+	if err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.log.Printf("wire: handshake with %s: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	s.connsByVer[ver].Add(1)
+	defer s.connsByVer[ver].Add(-1)
+	binary := ver >= V2
+
 	responses := make(chan *Response, 64)
 	writerDone := make(chan struct{})
-	go s.writeLoop(conn, responses, writerDone)
+	go s.writeLoop(conn, ver, responses, writerDone)
 	var inflight sync.WaitGroup
+	fr := &frameReader{r: br}
+	// One proc name per connection, not per request: formatting a
+	// fresh name for every dispatch shows up in allocation profiles.
+	procName := "wire/req-" + conn.RemoteAddr().String()
 	for {
-		var req Request
-		if err := ReadFrame(conn, &req); err != nil {
+		body, err := fr.next()
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.log.Printf("wire: read from %s: %v", conn.RemoteAddr(), err)
 			}
+			break
+		}
+		s.framesIn.Inc(1)
+		s.bytesIn.Inc(uint64(4 + len(body)))
+		var req Request
+		if binary {
+			err = decodeRequest(body, &req)
+		} else {
+			err = decodeJSONBody(body, &req)
+		}
+		if err != nil {
+			// A frame that doesn't decode means a broken or hostile
+			// peer; the stream has no trustworthy continuation.
+			s.decodeErrs.Inc(1)
+			s.log.Printf("wire: decode from %s: %v", conn.RemoteAddr(), err)
 			break
 		}
 		r := req
@@ -150,10 +201,10 @@ func (s *Server) handle(conn net.Conn) {
 					panic(v)
 				}
 			}()
-			proc := s.env.Adhoc(fmt.Sprintf("wire/req-%s-%d", conn.RemoteAddr(), r.ID))
+			proc := s.env.Adhoc(procName)
 			count, lat := s.instruments(r.Op)
 			start := proc.Now()
-			resp := s.dispatch(proc, &r)
+			resp := s.dispatch(proc, &r, binary)
 			count.Inc(1)
 			lat.Observe(proc.Now() - start)
 			resp.ID = r.ID
@@ -165,21 +216,28 @@ func (s *Server) handle(conn net.Conn) {
 	<-writerDone
 }
 
-// writeLoop is the connection's single writer: it drains completed
-// responses into a buffered writer and flushes only when no further
-// response is immediately queued, so bursts of pipelined completions
-// coalesce into fewer syscalls. On a write error it closes the
-// connection (which unblocks the reader) and keeps draining so
-// in-flight dispatchers never block on the response channel.
-func (s *Server) writeLoop(conn net.Conn, responses <-chan *Response, done chan<- struct{}) {
+// writeLoop is the connection's single writer. The v1 path drains
+// completed responses into a buffered writer and flushes only when no
+// further response is immediately queued; the v2 path encodes each
+// response into a pooled buffer and hands bursts to the kernel as one
+// writev (net.Buffers), so neither codec pays a syscall per frame. On
+// a write error it closes the connection (which unblocks the reader)
+// and keeps draining so in-flight dispatchers never block on the
+// response channel.
+func (s *Server) writeLoop(conn net.Conn, ver byte, responses <-chan *Response, done chan<- struct{}) {
 	defer close(done)
-	bw := bufio.NewWriter(conn)
+	if ver >= V2 {
+		s.writeLoopBinary(conn, responses)
+		return
+	}
+	bw := bufio.NewWriter(countingWriter{w: conn, c: s.bytesOut})
 	broken := false
 	for resp := range responses {
 		if broken {
 			continue
 		}
 		err := WriteFrame(bw, resp)
+		s.framesOut.Inc(1)
 		if err == nil && len(responses) == 0 {
 			err = bw.Flush()
 		}
@@ -194,6 +252,84 @@ func (s *Server) writeLoop(conn net.Conn, responses <-chan *Response, done chan<
 	}
 }
 
+// writevBatch bounds how many frames accumulate before a flush even
+// while more completions are queued (IOV_MAX headroom).
+const writevBatch = 64
+
+func (s *Server) writeLoopBinary(conn net.Conn, responses <-chan *Response) {
+	broken := false
+	var frames net.Buffers
+	var pooled []*[]byte
+	flush := func() error {
+		if len(frames) == 0 {
+			return nil
+		}
+		var total uint64
+		for _, f := range frames {
+			total += uint64(len(f))
+		}
+		_, err := frames.WriteTo(conn)
+		s.bytesOut.Inc(total)
+		frames = frames[:0]
+		for _, p := range pooled {
+			putBuf(p)
+		}
+		pooled = pooled[:0]
+		return err
+	}
+	for resp := range responses {
+		if broken {
+			continue
+		}
+		p := getBuf()
+		buf, err := encodeResponse(beginFrame((*p)[:0]), resp)
+		if err == nil {
+			err = finishFrame(buf, 0)
+		}
+		if err != nil {
+			// Encoding failed (an unencodable document, an oversized
+			// frame): the caller still deserves an answer.
+			buf, _ = encodeResponse(beginFrame((*p)[:0]), &Response{ID: resp.ID, Err: err.Error()})
+			if err = finishFrame(buf, 0); err != nil {
+				putBuf(p)
+				continue
+			}
+		}
+		*p = buf
+		frames = append(frames, buf)
+		pooled = append(pooled, p)
+		s.framesOut.Inc(1)
+		var werr error
+		if len(responses) == 0 || len(frames) >= writevBatch {
+			werr = flush()
+		}
+		if werr != nil {
+			s.log.Printf("wire: write to %s: %v", conn.RemoteAddr(), werr)
+			conn.Close()
+			broken = true
+		}
+	}
+	if !broken {
+		flush()
+	}
+	for _, p := range pooled {
+		putBuf(p)
+	}
+}
+
+// countingWriter feeds written byte counts into a counter; placed
+// under the v1 path's bufio.Writer so it prices flushes, not copies.
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Inc(uint64(n))
+	return n, err
+}
+
 // execRead runs a read op, honoring an afterClusterTime prerequisite
 // when the request carries one, and returns the node's applied OpTime.
 func (s *Server) execRead(p sim.Proc, req *Request, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
@@ -201,7 +337,12 @@ func (s *Server) execRead(p sim.Proc, req *Request, fn func(v cluster.ReadView) 
 	return s.rs.ExecReadAfter(p, req.Node, after, fn)
 }
 
-func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
+// dispatch executes one request. On binary connections read results
+// flow through cluster.EncodedReadView when the serving view offers
+// it, so responses carry each document's cached BSON-lite encoding
+// (rawDoc/rawDocs) and the write loop splices bytes instead of
+// re-serializing; JSON connections get the map forms as before.
+func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
 	resp := &Response{}
 	fail := func(err error) *Response {
 		resp.Err = err.Error()
@@ -237,6 +378,14 @@ func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
 		resp.Status = body
 	case OpFindByID:
 		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+			if binary {
+				if ev, ok := v.(cluster.EncodedReadView); ok {
+					if e, found := ev.FindByIDEncoded(req.Collection, req.DocID); found {
+						return e, nil
+					}
+					return nil, nil
+				}
+			}
 			d, ok := v.FindByID(req.Collection, req.DocID)
 			if !ok {
 				return nil, nil
@@ -247,38 +396,50 @@ func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
 			return fail(err)
 		}
 		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
-		if d, ok := res.(storage.Document); ok && d != nil {
+		switch d := res.(type) {
+		case *storage.EncodedDoc:
 			resp.Found = true
-			resp.Doc = docToJSON(d)
+			resp.rawDoc = d.Bytes()
+		case storage.Document:
+			if d != nil {
+				resp.Found = true
+				s.fillDoc(resp, binary, d)
+			}
 		}
 	case OpFindMany:
 		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+			if binary {
+				if ev, ok := v.(cluster.EncodedReadView); ok {
+					return ev.FindManyByIDEncoded(req.Collection, req.IDs), nil
+				}
+			}
 			return v.FindManyByID(req.Collection, req.IDs), nil
 		})
 		if err != nil {
 			return fail(err)
 		}
 		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
-		for _, d := range res.([]storage.Document) {
-			resp.Docs = append(resp.Docs, docToJSON(d))
-		}
+		s.fillDocs(resp, binary, res)
 	case OpFind:
-		filter, err := DecodeFilter(req.Filter)
+		filter, err := req.filterValue()
 		if err != nil {
 			return fail(err)
 		}
 		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+			if binary {
+				if ev, ok := v.(cluster.EncodedReadView); ok {
+					return ev.FindEncoded(req.Collection, filter, req.Limit), nil
+				}
+			}
 			return v.Find(req.Collection, filter, req.Limit), nil
 		})
 		if err != nil {
 			return fail(err)
 		}
 		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
-		for _, d := range res.([]storage.Document) {
-			resp.Docs = append(resp.Docs, docToJSON(d))
-		}
+		s.fillDocs(resp, binary, res)
 	case OpCount:
-		filter, err := DecodeFilter(req.Filter)
+		filter, err := req.filterValue()
 		if err != nil {
 			return fail(err)
 		}
@@ -292,8 +453,9 @@ func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
 		resp.Count = res.(int)
 	case OpWriteBatch:
 		_, commitTS, err := s.rs.ExecWriteTracked(p, func(tx cluster.WriteTxn) (any, error) {
-			for _, m := range req.Muts {
-				doc, derr := jsonToDoc(m.Doc)
+			for i := range req.Muts {
+				m := &req.Muts[i]
+				doc, derr := m.document()
 				if derr != nil {
 					return nil, derr
 				}
@@ -345,4 +507,35 @@ func (s *Server) dispatch(p sim.Proc, req *Request) *Response {
 		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
 	}
 	return resp
+}
+
+// fillDoc routes a single-document result to the codec-appropriate
+// response field.
+func (s *Server) fillDoc(resp *Response, binary bool, d storage.Document) {
+	if binary {
+		resp.doc = d
+	} else {
+		resp.Doc = docToJSON(d)
+	}
+}
+
+// fillDocs routes a multi-document read result — encoded wrappers or
+// plain documents — to the codec-appropriate response fields.
+func (s *Server) fillDocs(resp *Response, binary bool, res any) {
+	switch ds := res.(type) {
+	case []*storage.EncodedDoc:
+		raw := make([][]byte, 0, len(ds))
+		for _, e := range ds {
+			raw = append(raw, e.Bytes())
+		}
+		resp.rawDocs = raw
+	case []storage.Document:
+		if binary {
+			resp.docs = ds
+			return
+		}
+		for _, d := range ds {
+			resp.Docs = append(resp.Docs, docToJSON(d))
+		}
+	}
 }
