@@ -4,7 +4,7 @@ GO ?= go
 BENCHTIME ?= 2s
 COUNT ?= 3
 
-.PHONY: all build test race bench bench-pr4 bench-pr5
+.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6
 
 all: build test
 
@@ -16,6 +16,19 @@ test:
 
 race:
 	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# staticcheck runs honnef.co/go/tools when the binary is installed and
+# degrades to a notice when it is not, so the target is safe in
+# hermetic environments without module downloads.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # bench runs the PR 3 concurrency benchmarks (storage read path,
 # per-node concurrent reads, wire round trips) and rewrites
@@ -48,3 +61,14 @@ bench-pr5:
 	$(GO) test ./internal/storage -run '^$$' -bench BenchmarkEncodeDoc -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr5.txt
 	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr5.txt < bench/current_pr5.txt > BENCH_PR5.json
 	@cat BENCH_PR5.json
+
+# bench-pr6 runs the PR 6 observability/admission benchmarks — point
+# reads with every admission gate armed, and snapshot lookups/renders —
+# and rewrites BENCH_PR6.json against bench/baseline_pr6.txt (captured
+# with WIRE_ADMISSION=off OBS_NOINDEX=1, which pins the seed server
+# construction and the pre-index snapshot accessors).
+bench-pr6:
+	$(GO) test ./internal/wire -run '^$$' -bench BenchmarkWireAdmission -benchtime $(BENCHTIME) -count $(COUNT) -benchmem > bench/current_pr6.txt
+	$(GO) test ./internal/obs -run '^$$' -bench BenchmarkSnapshot -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr6.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr6.txt < bench/current_pr6.txt > BENCH_PR6.json
+	@cat BENCH_PR6.json

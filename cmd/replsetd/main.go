@@ -5,12 +5,19 @@
 // Usage:
 //
 //	replsetd -listen 127.0.0.1:27099 -nodes 3 -seed 1
+//
+// With -http the same metrics surface is exposed for scraping:
+// /metrics serves the Prometheus text exposition, /metrics.json the
+// JSON snapshot, and /healthz a liveness probe. The admission-control
+// flags (-max-conns, -max-inflight, -shed-inflight, -idle-timeout,
+// -slow-op) tune the wire server's overload behavior; all default off.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,12 +30,19 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:27099", "address to listen on")
+	httpAddr := flag.String("http", "", "address for the HTTP observability endpoint (empty disables)")
 	nodes := flag.Int("nodes", 3, "replica set size")
 	seed := flag.Int64("seed", 1, "environment seed")
 	readCost := flag.Duration("read-cost", 500*time.Microsecond, "service time per read unit")
 	writeCost := flag.Duration("write-cost", time.Millisecond, "service time per write op")
 	metricsEvery := flag.Duration("metrics-interval", 0,
 		"log the observability snapshot at this interval (0 disables; it is always logged on shutdown)")
+	maxConns := flag.Int("max-conns", 0, "max simultaneous wire connections (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "max in-service requests per connection (0 = unlimited)")
+	shedInflight := flag.Int("shed-inflight", 0,
+		"server-wide in-service request ceiling past which requests are shed with a retryable error (0 disables)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle this long (0 disables)")
+	slowOp := flag.Duration("slow-op", 0, "log requests that take at least this long (0 disables)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "replsetd: ", log.LstdFlags)
@@ -38,7 +52,13 @@ func main() {
 	cfg.ReadCost = *readCost
 	cfg.WriteCost = *writeCost
 	rs := cluster.New(env, cfg)
-	srv := wire.NewServer(env, rs, logger)
+	srv := wire.NewServerWith(env, rs, logger, wire.ServerConfig{
+		IdleTimeout:        *idleTimeout,
+		MaxConns:           *maxConns,
+		MaxInflightPerConn: *maxInflight,
+		ShedInflight:       *shedInflight,
+		SlowOpThreshold:    *slowOp,
+	})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -47,6 +67,36 @@ func main() {
 	logger.Printf("serving %d-node replica set on %s (primary: node %d)",
 		*nodes, ln.Addr(), rs.PrimaryID())
 	logger.Printf("metrics available over the wire protocol's %q op", wire.OpMetrics)
+
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write([]byte(rs.Metrics().Snapshot().Prometheus()))
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+			raw, err := rs.Metrics().Snapshot().JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(raw)
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("ok\n"))
+		})
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			logger.Fatalf("http listen: %v", err)
+		}
+		logger.Printf("scrape endpoints on http://%s/metrics (Prometheus), /metrics.json, /healthz", hln.Addr())
+		go func() {
+			if err := http.Serve(hln, mux); err != nil {
+				logger.Printf("http serve: %v", err)
+			}
+		}()
+	}
 
 	if *metricsEvery > 0 {
 		go func() {

@@ -40,6 +40,7 @@ func New(env sim.Env, cfg Config) *ReplicaSet {
 		zone := cfg.Zones[i%len(cfg.Zones)]
 		rs.nodes = append(rs.nodes, newNode(rs, i, zone))
 	}
+	rs.registerStatusCollector()
 	rs.startBackground()
 	return rs
 }

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/obs"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+	"decongestant/internal/wire"
+)
+
+// Overload scenario: the admission-control counterpart of the paper's
+// saturation sweeps. A real wire server runs over loopback TCP on a
+// real-time environment, and a closed-loop client population sized at
+// a multiple of the cluster's service capacity (nodes x CPU slots)
+// hammers it. With admission control on, the server is expected to
+// degrade gracefully: requests past the inflight ceiling are shed with
+// a retryable error instead of queueing without bound, the latency of
+// admitted requests stays bounded by the queue the ceiling permits,
+// and the goroutine count returns to baseline afterwards — no
+// collapse, no leak. The experiment reports exactly those three
+// observables.
+
+// OverloadOptions configures the overload run.
+type OverloadOptions struct {
+	Seed       int64
+	Nodes      int
+	CPUSlots   int
+	ReadCost   time.Duration
+	Multiplier int           // workers as a multiple of saturation (nodes x slots)
+	Conns      int           // pipelined client connections shared by the workers
+	Duration   time.Duration // closed-loop driving time
+	Admission  wire.ServerConfig
+	Docs       int
+}
+
+// DefaultOverloadOptions is the configuration the EXPERIMENTS.md
+// scenario and the regression test use at multiplier m: a small
+// cluster whose saturation point (12 concurrent ops) is far below the
+// worker population, with the shed ceiling at 2x saturation.
+func DefaultOverloadOptions(m int) OverloadOptions {
+	nodes, slots := 3, 4
+	sat := nodes * slots
+	return OverloadOptions{
+		Seed:       1,
+		Nodes:      nodes,
+		CPUSlots:   slots,
+		ReadCost:   5 * time.Millisecond,
+		Multiplier: m,
+		Conns:      8,
+		Duration:   2 * time.Second,
+		Docs:       256,
+		Admission: wire.ServerConfig{
+			IdleTimeout:        2 * time.Second,
+			MaxInflightPerConn: 4 * sat,
+			ShedInflight:       2 * sat,
+			SlowOpThreshold:    time.Second,
+		},
+	}
+}
+
+// OverloadResult summarizes one overload run.
+type OverloadResult struct {
+	Saturation int // nodes x CPU slots: concurrent ops the cluster services
+	Workers    int // closed-loop clients driving the server
+
+	Sent         int64
+	OK           int64
+	Shed         int64 // rejected with a retryable overload error
+	OtherErrors  int64 // anything not OK and not a clean shed
+	P50OK, P99OK time.Duration
+	MaxOK        time.Duration
+
+	// GoroutineGrowth is the post-shutdown goroutine count minus the
+	// pre-start baseline: leaked handlers and dispatchers show up here.
+	GoroutineGrowth int
+}
+
+// ShedFraction is the share of requests answered with the retryable
+// overload error.
+func (r OverloadResult) ShedFraction() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+func (r OverloadResult) String() string {
+	return fmt.Sprintf(
+		"overload: %d workers vs saturation %d | sent=%d ok=%d shed=%d (%.1f%%) other=%d | ok p50=%s p99=%s max=%s | goroutine growth=%+d",
+		r.Workers, r.Saturation, r.Sent, r.OK, r.Shed, 100*r.ShedFraction(),
+		r.OtherErrors, r.P50OK, r.P99OK, r.MaxOK, r.GoroutineGrowth)
+}
+
+// RunOverload drives the scenario and blocks until the server is torn
+// back down. Unlike the virtual-time figures this runs in real time —
+// admission control lives in the TCP layer, which the virtual
+// environment does not model.
+func RunOverload(opts OverloadOptions) (OverloadResult, error) {
+	res := OverloadResult{Saturation: opts.Nodes * opts.CPUSlots}
+	res.Workers = res.Saturation * opts.Multiplier
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	env := sim.NewRealtimeEnv(opts.Seed)
+	cfg := cluster.DefaultConfig()
+	cfg.Nodes = opts.Nodes
+	cfg.CPUSlots = opts.CPUSlots
+	cfg.ReadCost = opts.ReadCost
+	cfg.WriteCost = 2 * opts.ReadCost
+	cfg.CostJitter = -1
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	rs := cluster.New(env, cfg)
+	err := rs.Bootstrap(func(s *storage.Store) error {
+		c := s.C("overload")
+		for i := 0; i < opts.Docs; i++ {
+			if err := c.Insert(storage.D{"_id": overloadKey(i), "v": int64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	srv := wire.NewServerWith(env, rs, nil, opts.Admission)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+
+	clients := make([]*wire.Client, opts.Conns)
+	for i := range clients {
+		if clients[i], err = wire.Dial(addr); err != nil {
+			srv.Close()
+			env.Shutdown()
+			return res, err
+		}
+	}
+
+	reg := obs.NewRegistry()
+	okLat := reg.Histogram("overload.ok_latency")
+	var sent, ok, shed, other atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < res.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)))
+			cl := clients[w%len(clients)]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node := rng.Intn(opts.Nodes)
+				id := overloadKey(rng.Intn(opts.Docs))
+				start := time.Now()
+				_, err := cl.ExecRead(nil, node, func(v cluster.ReadView) (any, error) {
+					v.FindByID("overload", id)
+					return nil, nil
+				})
+				sent.Add(1)
+				switch {
+				case err == nil:
+					ok.Add(1)
+					okLat.Observe(time.Since(start))
+				case wire.IsRetryable(err):
+					shed.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(opts.Duration)
+	close(stop)
+	wg.Wait()
+	for _, cl := range clients {
+		cl.Close()
+	}
+	srv.Close()
+	env.Shutdown()
+
+	// Let reaped connections and dispatchers unwind before measuring
+	// the goroutine balance.
+	deadline := time.Now().Add(5 * time.Second)
+	growth := 0
+	for {
+		runtime.GC()
+		growth = runtime.NumGoroutine() - baseline
+		if growth <= 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	res.GoroutineGrowth = growth
+
+	res.Sent, res.OK, res.Shed, res.OtherErrors = sent.Load(), ok.Load(), shed.Load(), other.Load()
+	st := okLat.Stats()
+	res.P50OK, res.P99OK, res.MaxOK = st.P50, st.P99, st.Max
+	return res, nil
+}
+
+func overloadKey(i int) string { return fmt.Sprintf("doc%04d", i) }

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadGracefulDegradation drives the wire server at 10x its
+// saturation point with admission control on and checks the three
+// graceful-degradation properties: the excess is shed with retryable
+// errors (no other failure mode), the latency of admitted requests
+// stays bounded by the configured inflight ceiling rather than the
+// offered load, and no goroutines are left behind.
+func TestOverloadGracefulDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time overload run")
+	}
+	opts := DefaultOverloadOptions(10)
+	res, err := RunOverload(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+
+	if res.OK == 0 {
+		t.Fatal("no requests succeeded under overload — server collapsed")
+	}
+	if res.Shed == 0 {
+		t.Fatal("10x saturation never tripped the shed stage")
+	}
+	if res.OtherErrors != 0 {
+		t.Fatalf("%d non-retryable errors under overload, want only clean sheds", res.OtherErrors)
+	}
+	// The shed ceiling admits at most ShedInflight requests, so an
+	// admitted request waits behind a bounded queue: ceiling/saturation
+	// service rounds. A generous multiple of that bound still catches
+	// queueing that scales with offered load instead of the ceiling —
+	// at 10x saturation an unbounded queue would push p99 past seconds.
+	rounds := time.Duration(opts.Admission.ShedInflight/res.Saturation + 2)
+	bound := 10 * rounds * opts.ReadCost
+	if res.P99OK > bound {
+		t.Fatalf("admitted p99 %s exceeds bound %s — latency tracks offered load, not the ceiling",
+			res.P99OK, bound)
+	}
+	if res.GoroutineGrowth > 8 {
+		t.Fatalf("goroutine growth %d after shutdown, want ~0", res.GoroutineGrowth)
+	}
+}

@@ -157,17 +157,35 @@ type Instrument struct {
 
 // Snapshot is a point-in-time reading of every instrument, sorted by
 // name. It is plain data, JSON-round-trippable for the wire protocol.
+//
+// Snapshots built by this package carry a lazily built name index, so
+// repeated Get/CounterValue lookups — the export and assertion paths
+// run one per instrument — stay O(1) instead of rescanning the
+// instrument list. The index is shared by copies of the snapshot and
+// built at most once. Snapshots decoded from JSON have no index and
+// fall back to a linear scan.
 type Snapshot struct {
 	Instruments []Instrument `json:"instruments"`
+
+	idx *snapIndex
+}
+
+// snapIndex is the lazily built name → position index of a snapshot.
+// It lives behind a pointer so value copies of a Snapshot share one
+// index, and sync.Once makes the lazy build race-free.
+type snapIndex struct {
+	once sync.Once
+	m    map[string]int
 }
 
 // Registry holds named instruments. The zero value is not usable;
 // call NewRegistry. All methods are safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []func()
 }
 
 // NewRegistry creates an empty registry.
@@ -177,6 +195,22 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// RegisterCollector registers fn to run at the start of every
+// Snapshot call, before instruments are read. Collectors compute
+// scrape-time instrument families — queue depths, replication lag,
+// collection statistics, process memory — that would be wasteful to
+// maintain on the hot paths; they typically Set gauges in this same
+// registry. Collectors run outside the registry lock (they may create
+// instruments) and must not block.
+func (r *Registry) RegisterCollector(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use. A nil
@@ -233,6 +267,15 @@ func (r *Registry) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	r.mu.Lock()
+	collectors := r.collectors
+	r.mu.Unlock()
+	// Scrape-time collectors refresh their gauge families before the
+	// instrument maps are copied; they may get-or-create instruments,
+	// so they run outside the lock.
+	for _, fn := range collectors {
+		fn()
+	}
+	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
 		counters[k] = v
@@ -266,6 +309,10 @@ func (s *Snapshot) sort() {
 	sort.Slice(s.Instruments, func(i, j int) bool {
 		return s.Instruments[i].Name < s.Instruments[j].Name
 	})
+	// The instrument set is final from here on; hand out a fresh lazy
+	// index (building it eagerly would charge every snapshot for the
+	// lookups only some of them perform).
+	s.idx = &snapIndex{}
 }
 
 // Name formats an instrument name with labels: Name("x", "a", "1",
@@ -298,8 +345,25 @@ func Name(base string, kv ...string) string {
 	return b.String()
 }
 
-// Get returns the named instrument reading, if present.
+// Get returns the named instrument reading, if present. Snapshots
+// built by this package answer through a name index built on first
+// lookup; snapshots assembled by hand or decoded from JSON fall back
+// to a linear scan.
 func (s Snapshot) Get(name string) (Instrument, bool) {
+	if ix := s.idx; ix != nil {
+		ix.once.Do(func() {
+			m := make(map[string]int, len(s.Instruments))
+			for i := range s.Instruments {
+				m[s.Instruments[i].Name] = i
+			}
+			ix.m = m
+		})
+		i, ok := ix.m[name]
+		if !ok {
+			return Instrument{}, false
+		}
+		return s.Instruments[i], true
+	}
 	for _, in := range s.Instruments {
 		if in.Name == name {
 			return in, true
@@ -312,6 +376,12 @@ func (s Snapshot) Get(name string) (Instrument, bool) {
 func (s Snapshot) CounterValue(name string) uint64 {
 	in, _ := s.Get(name)
 	return in.Count
+}
+
+// GaugeValue returns the named gauge's level (0 when absent).
+func (s Snapshot) GaugeValue(name string) int64 {
+	in, _ := s.Get(name)
+	return in.Value
 }
 
 // Merge returns a snapshot containing s's instruments plus those of
@@ -330,7 +400,7 @@ func (s Snapshot) Merge(others ...Snapshot) Snapshot {
 // Prefixed returns a copy of the snapshot with every instrument name
 // prefixed — used to namespace pushed client snapshots by source.
 func (s Snapshot) Prefixed(prefix string) Snapshot {
-	out := Snapshot{Instruments: make([]Instrument, len(s.Instruments))}
+	out := Snapshot{Instruments: make([]Instrument, len(s.Instruments)), idx: &snapIndex{}}
 	for i, in := range s.Instruments {
 		in.Name = prefix + in.Name
 		out.Instruments[i] = in

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -155,5 +156,101 @@ func TestMergeAndPrefixed(t *testing.T) {
 	merged := r1.Snapshot().Merge(r2.Snapshot().Prefixed("c0."))
 	if merged.CounterValue("server.reqs") != 1 || merged.CounterValue("c0.client.sel") != 4 {
 		t.Fatalf("merge/prefix wrong: %+v", merged)
+	}
+}
+
+func TestSnapshotIndexLookups(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 200; i++ {
+		reg.Counter(Name("c", "i", strconv.Itoa(i))).Inc(uint64(i))
+		reg.Gauge(Name("g", "i", strconv.Itoa(i))).Set(int64(i))
+	}
+	snap := reg.Snapshot()
+	if snap.idx == nil {
+		t.Fatal("registry-built snapshot has no index")
+	}
+	// Lookups through the index and through copies of the snapshot
+	// (sharing the same index) must agree with the stored readings.
+	copied := snap
+	for i := 0; i < 200; i += 17 {
+		cn, gn := Name("c", "i", strconv.Itoa(i)), Name("g", "i", strconv.Itoa(i))
+		if v := snap.CounterValue(cn); v != uint64(i) {
+			t.Fatalf("CounterValue(%s) = %d, want %d", cn, v, i)
+		}
+		if v := copied.GaugeValue(gn); v != int64(i) {
+			t.Fatalf("copy GaugeValue(%s) = %d, want %d", gn, v, i)
+		}
+	}
+	if copied.idx != snap.idx {
+		t.Fatal("snapshot copy does not share the index")
+	}
+	if _, ok := snap.Get("absent"); ok {
+		t.Fatal("Get found an absent instrument")
+	}
+
+	// JSON-decoded snapshots have no index and must fall back to the
+	// linear scan with identical answers.
+	raw, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.idx != nil {
+		t.Fatal("decoded snapshot unexpectedly carries an index")
+	}
+	if v := back.CounterValue(Name("c", "i", "42")); v != 42 {
+		t.Fatalf("fallback lookup = %d, want 42", v)
+	}
+}
+
+func TestSnapshotIndexConcurrentBuild(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 64; i++ {
+		reg.Counter(Name("c", "i", strconv.Itoa(i))).Inc(1)
+	}
+	snap := reg.Snapshot()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := snap // value copy shares the index
+			for i := 0; i < 64; i++ {
+				if s.CounterValue(Name("c", "i", strconv.Itoa(i))) != 1 {
+					panic("lost reading")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestRegisterCollector(t *testing.T) {
+	reg := NewRegistry()
+	runs := 0
+	reg.RegisterCollector(func() {
+		runs++
+		// Collectors run outside the registry lock, so get-or-create
+		// from inside one must not deadlock.
+		reg.Gauge("collected.depth").Set(int64(10 * runs))
+	})
+	if got := reg.Snapshot().GaugeValue("collected.depth"); got != 10 {
+		t.Fatalf("first snapshot gauge = %d, want 10", got)
+	}
+	if got := reg.Snapshot().GaugeValue("collected.depth"); got != 20 {
+		t.Fatalf("second snapshot gauge = %d, want 20", got)
+	}
+	if runs != 2 {
+		t.Fatalf("collector ran %d times, want 2", runs)
+	}
+	// nil collectors and collectors on a nil registry are no-ops.
+	reg.RegisterCollector(nil)
+	var nilReg *Registry
+	nilReg.RegisterCollector(func() {})
+	if nilReg.Snapshot().Instruments != nil {
+		t.Fatal("nil registry snapshot not empty")
 	}
 }

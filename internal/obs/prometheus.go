@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prometheus exposition rendering for snapshots: the text format
+// scraped by real operators (text/plain; version 0.0.4). Instrument
+// names map to Prometheus families by sanitizing the dotted base name
+// ("status.connections.current" → "status_connections_current") and
+// converting the package's inline label encoding ("cluster.reads
+// {node=0}") into quoted Prometheus labels (cluster_reads{node="0"}).
+//
+// Counters and gauges export directly; histograms export as summaries
+// with {quantile="0|0.5|0.8|0.99|1"} samples plus _sum and _count.
+// Values keep the units the instruments observed in — nanoseconds for
+// latency histograms, raw counts for ObserveN histograms — which the
+// instrument name is expected to make obvious (DESIGN.md §11).
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format, one family per instrument base name, with a # TYPE line
+// opening each family.
+func (s Snapshot) Prometheus() string {
+	// Bucket instruments by family (sanitized base name): the format
+	// requires every sample of a family to appear in one contiguous
+	// group, and byte-wise instrument order does not guarantee that
+	// ("x.y" sorts after "x.ys" once the label brace is appended).
+	type family struct {
+		name string
+		kind string
+		ins  []Instrument
+	}
+	order := make([]string, 0, len(s.Instruments))
+	fams := make(map[string]*family, len(s.Instruments))
+	for _, in := range s.Instruments {
+		base, _ := splitName(in.Name)
+		fam := sanitizeMetricName(base)
+		f, ok := fams[fam]
+		if !ok {
+			f = &family{name: fam, kind: in.Kind}
+			fams[fam] = f
+			order = append(order, fam)
+		}
+		f.ins = append(f.ins, in)
+	}
+	sort.Strings(order)
+
+	var b strings.Builder
+	for _, fam := range order {
+		f := fams[fam]
+		switch f.kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", f.name)
+		case KindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", f.name)
+		case KindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s summary\n", f.name)
+		}
+		for _, in := range f.ins {
+			_, labels := splitName(in.Name)
+			switch in.Kind {
+			case KindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(labels, "", ""), in.Count)
+			case KindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(labels, "", ""), in.Value)
+			case KindHistogram:
+				h := in.Hist
+				if h == nil {
+					h = &HistStats{}
+				}
+				quantiles := []struct {
+					q string
+					v int64
+				}{
+					{"0", int64(h.Min)},
+					{"0.5", int64(h.P50)},
+					{"0.8", int64(h.P80)},
+					{"0.99", int64(h.P99)},
+					{"1", int64(h.Max)},
+				}
+				for _, qv := range quantiles {
+					fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(labels, "quantile", qv.q), qv.v)
+				}
+				fmt.Fprintf(&b, "%s_sum%s %d\n", f.name, promLabels(labels, "", ""), int64(h.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, promLabels(labels, "", ""), h.Count)
+			}
+		}
+	}
+	return b.String()
+}
+
+// splitName separates an instrument name into its dotted base and the
+// inline label block (without braces): "a.b{x=1,y=2}" → "a.b",
+// "x=1,y=2". Names without labels return an empty label block.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	labels = strings.TrimSuffix(name[i+1:], "}")
+	return name[:i], labels
+}
+
+// sanitizeMetricName maps an instrument base name onto the Prometheus
+// metric-name alphabet [a-zA-Z0-9_:], replacing every other byte with
+// an underscore and prefixing names that start with a digit.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps a label key onto [a-zA-Z0-9_].
+func sanitizeLabelName(s string) string {
+	out := sanitizeMetricName(s)
+	return strings.ReplaceAll(out, ":", "_")
+}
+
+// promLabels renders the inline label block as a Prometheus label set,
+// appending the optional extra pair (used for summary quantiles).
+// Label values are quoted with \, " and newline escaped.
+func promLabels(labels, extraKey, extraVal string) string {
+	if labels == "" && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	if labels != "" {
+		for _, pair := range strings.Split(labels, ",") {
+			k, v, _ := strings.Cut(pair, "=")
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(sanitizeLabelName(k))
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(v))
+			b.WriteByte('"')
+		}
+	}
+	if extraKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

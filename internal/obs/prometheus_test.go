@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseExposition is a strict parser for the subset of the Prometheus
+// text format the exporter emits: `# TYPE name kind` comment lines and
+// `name{k="v",...} value` samples. It fails the test on any malformed
+// line and returns the samples plus the TYPE declared for each family.
+func parseExposition(t *testing.T, text string) (samples map[string]int64, types map[string]string) {
+	t.Helper()
+	samples = map[string]int64{}
+	types = map[string]string{}
+	validName := func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+				(c >= '0' && c <= '9' && i > 0)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	declared := "" // family the current TYPE block belongs to
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			name, kind := parts[2], parts[3]
+			if !validName(name) {
+				t.Fatalf("line %d: invalid family name %q", ln+1, name)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "summary" {
+				t.Fatalf("line %d: unknown family kind %q", ln+1, kind)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: family %q declared twice", ln+1, name)
+			}
+			types[name] = kind
+			declared = name
+			continue
+		}
+		// Sample line: name or name{labels}, then exactly one value.
+		labels := ""
+		sampleLine := line
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				t.Fatalf("line %d: unterminated label block %q", ln+1, line)
+			}
+			labels = line[i+1 : j]
+			sampleLine = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(sampleLine)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: want `name value`, got %q", ln+1, line)
+		}
+		name := fields[0]
+		if !validName(name) {
+			t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, line, err)
+		}
+		for _, pair := range strings.Split(labels, ",") {
+			if labels == "" {
+				break
+			}
+			k, val, ok := strings.Cut(pair, "=")
+			if !ok || !validName(k) || !strings.HasPrefix(val, `"`) || !strings.HasSuffix(val, `"`) {
+				t.Fatalf("line %d: malformed label pair %q", ln+1, pair)
+			}
+		}
+		// Samples must stay inside their family's contiguous block.
+		fam := name
+		fam = strings.TrimSuffix(fam, "_sum")
+		fam = strings.TrimSuffix(fam, "_count")
+		if declared != "" && fam != declared && name != declared {
+			if _, known := types[fam]; !known {
+				t.Fatalf("line %d: sample %q outside its family block (current family %q)", ln+1, name, declared)
+			}
+		}
+		key := name
+		if labels != "" {
+			key += "{" + labels + "}"
+		}
+		if _, dup := samples[key]; dup {
+			t.Fatalf("line %d: duplicate sample %q", ln+1, key)
+		}
+		samples[key] = v
+	}
+	return samples, types
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("wire.frames_in").Inc(7)
+	reg.Counter(Name("wire.requests", "op", "find")).Inc(3)
+	reg.Counter(Name("wire.requests", "op", "ping")).Inc(9)
+	reg.Gauge(Name("replstatus.state", "node", "0")).Set(2)
+	reg.Gauge(Name("replstatus.state", "node", "1")).Set(1)
+	reg.Gauge("status.connections.current").Set(5)
+	h := reg.Histogram(Name("wire.request_latency", "op", "find"))
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+
+	text := reg.Snapshot().Prometheus()
+	samples, types := parseExposition(t, text)
+
+	if got := types["wire_frames_in"]; got != "counter" {
+		t.Fatalf("wire_frames_in TYPE = %q, want counter", got)
+	}
+	if got := types["replstatus_state"]; got != "gauge" {
+		t.Fatalf("replstatus_state TYPE = %q, want gauge", got)
+	}
+	if got := types["wire_request_latency"]; got != "summary" {
+		t.Fatalf("wire_request_latency TYPE = %q, want summary", got)
+	}
+	if v := samples[`wire_frames_in`]; v != 7 {
+		t.Fatalf("wire_frames_in = %d, want 7", v)
+	}
+	if v := samples[`wire_requests{op="find"}`]; v != 3 {
+		t.Fatalf(`wire_requests{op="find"} = %d, want 3`, v)
+	}
+	if v := samples[`replstatus_state{node="0"}`]; v != 2 {
+		t.Fatalf(`replstatus_state{node="0"} = %d, want 2`, v)
+	}
+	if v := samples[`status_connections_current`]; v != 5 {
+		t.Fatalf("status_connections_current = %d, want 5", v)
+	}
+	if v := samples[`wire_request_latency_count{op="find"}`]; v != 100 {
+		t.Fatalf("latency count = %d, want 100", v)
+	}
+	for _, q := range []string{"0", "0.5", "0.8", "0.99", "1"} {
+		key := fmt.Sprintf(`wire_request_latency{op="find",quantile="%s"}`, q)
+		if _, ok := samples[key]; !ok {
+			t.Fatalf("missing quantile sample %s", key)
+		}
+	}
+	// Quantiles must be monotone from min to max.
+	q0 := samples[`wire_request_latency{op="find",quantile="0"}`]
+	q50 := samples[`wire_request_latency{op="find",quantile="0.5"}`]
+	q100 := samples[`wire_request_latency{op="find",quantile="1"}`]
+	if !(q0 <= q50 && q50 <= q100) {
+		t.Fatalf("quantiles not monotone: min=%d p50=%d max=%d", q0, q50, q100)
+	}
+}
+
+func TestPrometheusSanitization(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(Name("9weird.name-x", "bad-key", `va"l\ue`)).Inc(1)
+	text := reg.Snapshot().Prometheus()
+	samples, types := parseExposition(t, text)
+	if got := types["_9weird_name_x"]; got != "counter" {
+		t.Fatalf("sanitized family missing, types=%v", types)
+	}
+	want := `_9weird_name_x{bad_key="va\"l\\ue"}`
+	if _, ok := samples[want]; !ok {
+		t.Fatalf("sanitized sample %q missing in %v", want, samples)
+	}
+}
+
+func TestPrometheusFamilyGrouping(t *testing.T) {
+	// "x.ys" sorts before "x.y{...}" byte-wise; the renderer must still
+	// emit both x.y samples contiguously under one TYPE line.
+	reg := NewRegistry()
+	reg.Counter(Name("x.y", "a", "1")).Inc(1)
+	reg.Counter(Name("x.y", "a", "2")).Inc(1)
+	reg.Counter("x.ys").Inc(1)
+	text := reg.Snapshot().Prometheus()
+	parseExposition(t, text) // parser enforces contiguity
+	first := strings.Index(text, "x_y{")
+	last := strings.LastIndex(text, "x_y{")
+	between := text[first:last]
+	if strings.Contains(between, "# TYPE") {
+		t.Fatalf("family x_y split across TYPE blocks:\n%s", text)
+	}
+}

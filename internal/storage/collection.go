@@ -580,3 +580,35 @@ func (c *Collection) ScanIDs(fn func(id string) bool) {
 	defer c.mu.RUnlock()
 	c.docs.AscendAll(func(id string, e *EncodedDoc) bool { return fn(id) })
 }
+
+// CollStats is the collstats command's view of one collection.
+type CollStats struct {
+	Name    string
+	Docs    int
+	Indexes int
+	// EncodedBytes sums the cached BSON-lite encodings — the
+	// collection's wire-cache footprint. Documents never serialized
+	// contribute 0 (the cache is lazy), so this is a lower bound on
+	// data size that converges to it as the read set heats up.
+	EncodedBytes int64
+	// EncodedDocs counts documents whose encoding is cached.
+	EncodedDocs int
+}
+
+// Stats reads the collection's collstats under the read lock in one
+// ordered walk. It never forces encodings (that would churn CPU and
+// memory on a scrape), so EncodedBytes prices only the cache that
+// exists.
+func (c *Collection) Stats() CollStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := CollStats{Name: c.name, Docs: c.docs.Len(), Indexes: len(c.indexes)}
+	c.docs.AscendAll(func(id string, e *EncodedDoc) bool {
+		if n := e.EncodedLen(); n > 0 {
+			st.EncodedBytes += int64(n)
+			st.EncodedDocs++
+		}
+		return true
+	})
+	return st
+}

@@ -93,3 +93,40 @@ func (s *Store) TotalDocs() int {
 	}
 	return n
 }
+
+// DBStats aggregates CollStats over a whole store — the dbstats
+// command's source.
+type DBStats struct {
+	Collections int
+	Docs        int
+	Indexes     int
+	// EncodedBytes is the total footprint of cached BSON-lite
+	// encodings (see CollStats.EncodedBytes).
+	EncodedBytes int64
+	// PerCollection carries the individual rows, sorted by name.
+	PerCollection []CollStats
+}
+
+// Stats walks every collection and returns the store's dbstats view.
+// Cost is one read-locked tree walk per collection; intended for
+// scrape-interval telemetry, not hot paths.
+func (s *Store) Stats() DBStats {
+	s.mu.RLock()
+	colls := make([]*Collection, 0, len(s.collections))
+	for _, c := range s.collections {
+		colls = append(colls, c)
+	}
+	s.mu.RUnlock()
+	out := DBStats{Collections: len(colls)}
+	for _, c := range colls {
+		cs := c.Stats()
+		out.Docs += cs.Docs
+		out.Indexes += cs.Indexes
+		out.EncodedBytes += cs.EncodedBytes
+		out.PerCollection = append(out.PerCollection, cs)
+	}
+	sort.Slice(out.PerCollection, func(i, j int) bool {
+		return out.PerCollection[i].Name < out.PerCollection[j].Name
+	})
+	return out
+}

@@ -54,6 +54,7 @@ const (
 	rsOpSecs  = 9  // varint
 	rsOpInc   = 10 // uvarint
 	rsMetrics = 11 // uvarint length + JSON bytes
+	rsCode    = 12 // varint error code (classifies rsErr)
 )
 
 // opCodes maps op names to single-byte codes for the binary codec;
@@ -475,6 +476,10 @@ func encodeResponse(dst []byte, r *Response) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, rsErr)
 		dst = appendString(dst, r.Err)
 	}
+	if r.Code != 0 {
+		dst = binary.AppendUvarint(dst, rsCode)
+		dst = binary.AppendVarint(dst, int64(r.Code))
+	}
 	if r.Found {
 		dst = binary.AppendUvarint(dst, rsFound)
 		dst = append(dst, 1)
@@ -677,6 +682,11 @@ func decodeResponse(b []byte, r *Response) error {
 				st.Members = append(st.Members, m)
 			}
 			r.Status = st
+		case rsCode:
+			var v int64
+			if v, b, err = getVarint(b); err == nil {
+				r.Code = int(v)
+			}
 		case rsOpSecs:
 			r.OpSecs, b, err = getVarint(b)
 		case rsOpInc:

@@ -301,7 +301,7 @@ func (cl *Client) roundTrip(req *Request) (*Response, error) {
 		return nil, mc.failure()
 	}
 	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
+		return resp, &Error{Code: resp.Code, Msg: resp.Err}
 	}
 	return resp, nil
 }

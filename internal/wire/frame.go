@@ -132,26 +132,54 @@ func finishFrame(b []byte, start int) error {
 // returned slice is only valid until the next call; decoders must copy
 // what they keep (BSON-lite decoding does: strings are interned or
 // copied, byte values are copied).
+//
+// The reader is resumable across transient read errors: partial header
+// or body progress is retained in the struct, so a caller that gets a
+// read-deadline timeout (the server's idle-timeout probe) can call
+// next again and continue mid-frame without desynchronizing the
+// stream.
 type frameReader struct {
 	r   io.Reader
 	buf []byte
+
+	hdr    [4]byte
+	hn     int  // header bytes read so far
+	inBody bool // header complete; bn tracks body progress
+	bn     int
 }
 
+// midFrame reports whether a frame is partially read — the signal that
+// a timed-out connection is stalled mid-frame rather than idle between
+// requests.
+func (fr *frameReader) midFrame() bool { return fr.hn > 0 || fr.inBody }
+
 func (fr *frameReader) next() ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
-		return nil, err
+	if !fr.inBody {
+		for fr.hn < 4 {
+			n, err := fr.r.Read(fr.hdr[fr.hn:])
+			fr.hn += n
+			if err != nil {
+				return nil, err
+			}
+		}
+		size := binary.BigEndian.Uint32(fr.hdr[:])
+		if size > MaxFrame {
+			return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", size)
+		}
+		if uint32(cap(fr.buf)) < size {
+			fr.buf = make([]byte, size)
+		}
+		fr.buf = fr.buf[:size]
+		fr.bn = 0
+		fr.inBody = true
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	for fr.bn < len(fr.buf) {
+		n, err := fr.r.Read(fr.buf[fr.bn:])
+		fr.bn += n
+		if err != nil {
+			return nil, err
+		}
 	}
-	if uint32(cap(fr.buf)) < n {
-		fr.buf = make([]byte, n)
-	}
-	fr.buf = fr.buf[:n]
-	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
-		return nil, err
-	}
+	fr.hn, fr.inBody = 0, false
 	return fr.buf, nil
 }

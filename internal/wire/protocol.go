@@ -19,6 +19,7 @@ import (
 	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -50,6 +51,38 @@ const (
 
 // MaxFrame bounds a single protocol frame (16 MiB).
 const MaxFrame = 16 << 20
+
+// Error codes carried in Response.Code. Zero means "no code" (legacy
+// errors travel as bare strings); non-zero codes classify the failure
+// so clients can tell retryable congestion pushback from hard errors.
+const (
+	// CodeOverloaded is load shedding: the server hit its saturation
+	// threshold and rejected the request without executing it. The
+	// request did not run — retrying after a backoff is always safe.
+	CodeOverloaded = 1001
+)
+
+// Error is a typed protocol error: the server's message plus its
+// error code. The client returns *Error for every server-reported
+// failure, so callers can route on the code (see IsRetryable).
+type Error struct {
+	Code int
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// IsRetryable reports whether err is a server pushback that is safe to
+// retry after a backoff — the request was shed before execution, so no
+// state changed. Plain network errors are not classified here: the
+// caller cannot know whether a write executed.
+func IsRetryable(err error) bool {
+	var we *Error
+	if !errors.As(err, &we) {
+		return false
+	}
+	return we.Code == CodeOverloaded
+}
 
 // Cond is the wire form of a filter condition.
 type Cond struct {
@@ -162,8 +195,11 @@ type Topology struct {
 
 // Response is one server->client frame.
 type Response struct {
-	ID     uint64           `json:"id"`
-	Err    string           `json:"err,omitempty"`
+	ID  uint64 `json:"id"`
+	Err string `json:"err,omitempty"`
+	// Code classifies Err when non-zero (see the Code constants); the
+	// client surfaces both through *Error.
+	Code   int              `json:"code,omitempty"`
 	Found  bool             `json:"found,omitempty"`
 	Doc    map[string]any   `json:"doc,omitempty"`
 	Docs   []map[string]any `json:"docs,omitempty"`

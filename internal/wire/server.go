@@ -8,6 +8,8 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"decongestant/internal/cluster"
 	"decongestant/internal/obs"
@@ -15,6 +17,54 @@ import (
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
 )
+
+// ServerConfig tunes the server's admission control and connection
+// lifecycle. The zero value disables every mechanism, which is the
+// seed behavior: unlimited connections, no idle reaping, no
+// backpressure, no shedding.
+//
+// Admission is staged. A connection is first *accepted* (or refused at
+// the listener when MaxConns is hit), then each request *queues*
+// against the per-connection inflight budget — when the budget is
+// spent the reader simply stops pulling frames, so excess load parks
+// in kernel socket buffers and flow-controls the client — and finally
+// a request that would push the server past ShedInflight is *shed*:
+// answered immediately with CodeOverloaded instead of dispatched, so
+// clients can back off and retry while the server keeps serving the
+// load it admitted.
+type ServerConfig struct {
+	// IdleTimeout reaps connections with no readable data and no
+	// requests in service for this long. Connections stalled mid-frame
+	// are reaped too — a half-written frame past the deadline means a
+	// broken peer, and waiting on it pins the reader goroutine.
+	IdleTimeout time.Duration
+	// MaxConns caps simultaneously served connections; extras are
+	// closed at accept time. 0 means no cap.
+	MaxConns int
+	// MaxInflightPerConn caps requests in service per connection.
+	// Past the cap the connection's reader stops consuming frames
+	// (TCP backpressure). 0 means no cap.
+	MaxInflightPerConn int
+	// ShedInflight is the server-wide in-service request count beyond
+	// which new requests are shed with a retryable error. 0 disables
+	// shedding.
+	ShedInflight int
+	// SlowOpThreshold logs any request whose service time meets it,
+	// MongoDB's slowms. 0 disables the slow-op log.
+	SlowOpThreshold time.Duration
+}
+
+// defaultMaxConns prices status.connections.available when no
+// explicit cap is configured, mirroring how mongod derives the gauge
+// from its file-descriptor rlimit.
+const defaultMaxConns = 1 << 16
+
+func (c ServerConfig) connLimit() int {
+	if c.MaxConns > 0 {
+		return c.MaxConns
+	}
+	return defaultMaxConns
+}
 
 // Server exposes a replica set (running on a real-time environment)
 // over TCP. Connections are pipelined: a reader goroutine decodes
@@ -45,6 +95,18 @@ type Server struct {
 	bytesOut   *obs.Counter
 	decodeErrs *obs.Counter
 
+	// Admission-control instruments. connsCur/connsAvail are the
+	// status.connections pair operators alarm on; inflightG is the
+	// server-wide in-service request count the shed stage reads.
+	cfg           ServerConfig
+	connsCur      *obs.Gauge
+	connsAvail    *obs.Gauge
+	connsRejected *obs.Counter
+	inflightG     *obs.Gauge
+	idleClosed    *obs.Counter
+	shedCount     *obs.Counter
+	slowOps       *obs.Counter
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -59,9 +121,16 @@ var wireOps = []string{
 	OpCount, OpWriteBatch, OpMetrics, OpMetricsPush, "other",
 }
 
-// NewServer creates a server over the given replica set. The replica
-// set must have been built on env.
+// NewServer creates a server over the given replica set with the
+// zero ServerConfig — no admission control, the seed behavior. The
+// replica set must have been built on env.
 func NewServer(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger) *Server {
+	return NewServerWith(env, rs, logger, ServerConfig{})
+}
+
+// NewServerWith creates a server with explicit admission-control and
+// connection-lifecycle configuration.
+func NewServerWith(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger, cfg ServerConfig) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
@@ -69,6 +138,7 @@ func NewServer(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger)
 		env: env, rs: rs,
 		opCounts: make(map[string]*obs.Counter, len(wireOps)),
 		opLat:    make(map[string]*obs.Histogram, len(wireOps)),
+		cfg:      cfg,
 		conns:    map[net.Conn]struct{}{},
 		pushed:   map[string]obs.Snapshot{},
 		log:      logger,
@@ -85,7 +155,22 @@ func NewServer(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger)
 	s.bytesIn = reg.Counter("wire.bytes_in")
 	s.bytesOut = reg.Counter("wire.bytes_out")
 	s.decodeErrs = reg.Counter("wire.decode_errors")
+	s.connsCur = reg.Gauge("status.connections.current")
+	s.connsAvail = reg.Gauge("status.connections.available")
+	s.connsAvail.Set(int64(cfg.connLimit()))
+	s.connsRejected = reg.Counter("status.connections.rejected")
+	s.inflightG = reg.Gauge("status.inflight_requests")
+	s.idleClosed = reg.Counter("wire.idle_closed")
+	s.shedCount = reg.Counter(obs.Name("wire.requests_shed", "reason", "overload"))
+	s.slowOps = reg.Counter("wire.slow_ops")
 	return s
+}
+
+// setConnGauges publishes the status.connections pair after an
+// accept or a close.
+func (s *Server) setConnGauges(cur int) {
+	s.connsCur.Set(int64(cur))
+	s.connsAvail.Set(int64(s.cfg.connLimit() - cur))
 }
 
 // instruments returns the count and latency instruments for an opcode.
@@ -115,8 +200,19 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		s.mu.Lock()
+		if max := s.cfg.MaxConns; max > 0 && len(s.conns) >= max {
+			// Accept stage: over the cap the connection is refused
+			// outright. Closing without a handshake reply reads as a
+			// dial failure on the client, the retryable kind.
+			s.mu.Unlock()
+			s.connsRejected.Inc(1)
+			conn.Close()
+			continue
+		}
 		s.conns[conn] = struct{}{}
+		cur := len(s.conns)
 		s.mu.Unlock()
+		s.setConnGauges(cur)
 		go s.handle(conn)
 	}
 }
@@ -145,12 +241,24 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
+		cur := len(s.conns)
 		s.mu.Unlock()
+		s.setConnGauges(cur)
 	}()
+	idle := s.cfg.IdleTimeout
+	if idle > 0 {
+		// The deadline also bounds the handshake: a peer that connects
+		// and never speaks is reaped like one that goes quiet later.
+		conn.SetReadDeadline(time.Now().Add(idle))
+	}
 	br := bufio.NewReader(conn)
 	ver, err := negotiate(br, conn)
 	if err != nil {
-		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		var ne net.Error
+		switch {
+		case errors.As(err, &ne) && ne.Timeout():
+			s.idleClosed.Inc(1)
+		case !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed):
 			s.log.Printf("wire: handshake with %s: %v", conn.RemoteAddr(), err)
 		}
 		return
@@ -163,13 +271,35 @@ func (s *Server) handle(conn net.Conn) {
 	writerDone := make(chan struct{})
 	go s.writeLoop(conn, ver, responses, writerDone)
 	var inflight sync.WaitGroup
+	var inService atomic.Int64 // this connection's requests in dispatch
+	var sem chan struct{}      // queue-stage budget; nil when uncapped
+	if n := s.cfg.MaxInflightPerConn; n > 0 {
+		sem = make(chan struct{}, n)
+	}
 	fr := &frameReader{r: br}
 	// One proc name per connection, not per request: formatting a
 	// fresh name for every dispatch shows up in allocation profiles.
 	procName := "wire/req-" + conn.RemoteAddr().String()
 	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		body, err := fr.next()
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// The idle probe fired. A connection that is merely
+				// waiting on its own slow responses is alive — extend
+				// and keep reading (the resumable frameReader holds any
+				// partial progress). A connection stalled mid-frame
+				// with nothing in service, or fully idle, is dead
+				// weight: reap it and free the gauges it pins.
+				if inService.Load() > 0 && !fr.midFrame() {
+					continue
+				}
+				s.idleClosed.Inc(1)
+				break
+			}
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.log.Printf("wire: read from %s: %v", conn.RemoteAddr(), err)
 			}
@@ -191,9 +321,36 @@ func (s *Server) handle(conn net.Conn) {
 			break
 		}
 		r := req
+		// Queue stage: when this connection's budget is spent, block
+		// here instead of reading further frames — unread requests
+		// back up into socket buffers and flow-control the client.
+		if sem != nil {
+			sem <- struct{}{}
+		}
+		// Shed stage: past the server-wide inflight ceiling the
+		// request is answered without being dispatched, so admitted
+		// work keeps its latency while the excess gets an immediate
+		// retryable error instead of a place in line.
+		if max := s.cfg.ShedInflight; max > 0 && s.inflightG.Value() >= int64(max) {
+			if sem != nil {
+				<-sem
+			}
+			s.shedCount.Inc(1)
+			responses <- &Response{ID: r.ID, Err: "wire: server overloaded", Code: CodeOverloaded}
+			continue
+		}
 		inflight.Add(1)
+		inService.Add(1)
+		s.inflightG.Add(1)
 		go func() {
-			defer inflight.Done()
+			defer func() {
+				if sem != nil {
+					<-sem
+				}
+				s.inflightG.Add(-1)
+				inService.Add(-1)
+				inflight.Done()
+			}()
 			// The environment may shut down while a request is in
 			// flight; swallow the stop signal like Spawn's wrapper does.
 			defer func() {
@@ -206,7 +363,13 @@ func (s *Server) handle(conn net.Conn) {
 			start := proc.Now()
 			resp := s.dispatch(proc, &r, binary)
 			count.Inc(1)
-			lat.Observe(proc.Now() - start)
+			dur := proc.Now() - start
+			lat.Observe(dur)
+			if t := s.cfg.SlowOpThreshold; t > 0 && dur >= t {
+				s.slowOps.Inc(1)
+				s.log.Printf("wire: slow op op=%s coll=%q node=%d id=%d dur=%s err=%q",
+					r.Op, r.Collection, r.Node, r.ID, dur, resp.Err)
+			}
 			resp.ID = r.ID
 			responses <- resp
 		}()
