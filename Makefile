@@ -3,8 +3,12 @@ GO ?= go
 # BENCH_PR3.json numbers come from a full-length run (default 2s).
 BENCHTIME ?= 2s
 COUNT ?= 3
+# Minimum current/baseline throughput ratio cmd/benchgate enforces for
+# the sampling-off tracing benchmarks (PR 7). CI smoke runs pass 0
+# (report-only) because 1x iterations are throughput noise.
+BENCHGATE_MIN ?= 0.97
 
-.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6
+.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6 bench-pr7
 
 all: build test
 
@@ -72,3 +76,15 @@ bench-pr6:
 	$(GO) test ./internal/obs -run '^$$' -bench BenchmarkSnapshot -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr6.txt
 	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr6.txt < bench/current_pr6.txt > BENCH_PR6.json
 	@cat BENCH_PR6.json
+
+# bench-pr7 measures the PR 7 tracing overhead on the PR 5 wire find
+# path: the untraced benchmarks run with sampling off (the default) and
+# are gated by cmd/benchgate against bench/baseline_pr7.txt (recorded
+# just before the tracing code landed) — throughput within
+# BENCHGATE_MIN and zero extra allocs/op; the Traced variants run at
+# the 1% sampling rate (TRACE_SAMPLE overrides) for the sampled cost.
+bench-pr7:
+	$(GO) test ./internal/wire -run '^$$' -bench 'BenchmarkWire(ConcurrentPointReads|FindQuery|Traced)' -benchtime $(BENCHTIME) -count $(COUNT) -benchmem > bench/current_pr7.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr7.txt < bench/current_pr7.txt > BENCH_PR7.json
+	$(GO) run ./cmd/benchgate -file BENCH_PR7.json -min-ratio $(BENCHGATE_MIN)
+	@cat BENCH_PR7.json

@@ -1,0 +1,93 @@
+// Command benchgate enforces the PR 7 tracing-overhead budget from a
+// benchjson comparison file. It reads the JSON produced by
+// cmd/benchjson (current + baseline metric means per benchmark) and
+// fails when the named sampling-off benchmarks regress: throughput
+// (rt/s) below -min-ratio of the pre-tracing baseline, or more
+// allocs/op than the baseline (tracing off must add zero allocations
+// on the hot path).
+//
+// -min-ratio 0 switches to report-only mode: ratios are printed but
+// nothing fails. CI smoke runs (-benchtime 1x) use this, since
+// single-iteration throughput is noise; the deterministic half of the
+// alloc gate still runs there as TestEncodeRequestSamplingOffZeroAllocs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+type result struct {
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type doc struct {
+	Current  map[string]*result `json:"current"`
+	Baseline map[string]*result `json:"baseline"`
+}
+
+func main() {
+	file := flag.String("file", "BENCH_PR7.json", "benchjson comparison file to gate on")
+	minRatio := flag.Float64("min-ratio", 0.97,
+		"minimum current/baseline rt/s ratio for the gated benchmarks (0 = report only)")
+	benches := flag.String("benches", "BenchmarkWireConcurrentPointReads,BenchmarkWireFindQuery",
+		"comma-separated benchmarks to gate (the sampling-off hot paths)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	if d.Baseline == nil {
+		fmt.Fprintln(os.Stderr, "benchgate: no baseline section in", *file)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		cur, base := d.Current[name], d.Baseline[name]
+		if cur == nil || base == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s missing from current or baseline\n", name)
+			failed = true
+			continue
+		}
+		ratio := math.NaN()
+		if bv := base.Metrics["rt/s"]; bv > 0 {
+			ratio = cur.Metrics["rt/s"] / bv
+		}
+		// allocs/op means are averaged over integer per-run values;
+		// round before comparing so 15.0000001 does not read as a leak.
+		curAllocs := math.Round(cur.Metrics["allocs/op"])
+		baseAllocs := math.Round(base.Metrics["allocs/op"])
+		status := "ok"
+		if *minRatio > 0 {
+			if !(ratio >= *minRatio) {
+				status = fmt.Sprintf("FAIL throughput (< %.2f)", *minRatio)
+				failed = true
+			} else if curAllocs > baseAllocs {
+				status = "FAIL allocs (tracing off must add zero allocs/op)"
+				failed = true
+			}
+		} else {
+			status = "report-only"
+		}
+		fmt.Printf("benchgate: %-36s rt/s %9.0f vs %9.0f (x%.3f)  allocs/op %3.0f vs %3.0f  %s\n",
+			name, cur.Metrics["rt/s"], base.Metrics["rt/s"], ratio, curAllocs, baseAllocs, status)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: sampling-off overhead budget exceeded")
+		os.Exit(1)
+	}
+}

@@ -8,22 +8,30 @@
 //
 // With -http the same metrics surface is exposed for scraping:
 // /metrics serves the Prometheus text exposition, /metrics.json the
-// JSON snapshot, and /healthz a liveness probe. The admission-control
-// flags (-max-conns, -max-inflight, -shed-inflight, -idle-timeout,
-// -slow-op) tune the wire server's overload behavior; all default off.
+// JSON snapshot, and /healthz a liveness probe. /debug/trace exports
+// recorded spans (?id=<hex trace id> for one trace, ?limit=N for the
+// most recent) and /debug/currentOp the requests in dispatch, both as
+// JSON. The admission-control flags (-max-conns, -max-inflight,
+// -shed-inflight, -idle-timeout, -slow-op) tune the wire server's
+// overload behavior; all default off. Trace sampling is decided by
+// clients (the context rides the wire); -current-op toggles the
+// server's registry of in-dispatch requests.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"decongestant/internal/cluster"
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/sim"
 	"decongestant/internal/wire"
 )
@@ -43,6 +51,7 @@ func main() {
 		"server-wide in-service request ceiling past which requests are shed with a retryable error (0 disables)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle this long (0 disables)")
 	slowOp := flag.Duration("slow-op", 0, "log requests that take at least this long (0 disables)")
+	currentOp := flag.Bool("current-op", true, "maintain the currentOp registry of in-dispatch requests")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "replsetd: ", log.LstdFlags)
@@ -58,6 +67,7 @@ func main() {
 		MaxInflightPerConn: *maxInflight,
 		ShedInflight:       *shedInflight,
 		SlowOpThreshold:    *slowOp,
+		CurrentOp:          *currentOp,
 	})
 
 	ln, err := net.Listen("tcp", *listen)
@@ -86,11 +96,50 @@ func main() {
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 			w.Write([]byte("ok\n"))
 		})
+		writeJSON := func(w http.ResponseWriter, v any) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(v)
+		}
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			tr := rs.Tracer()
+			if idStr := r.URL.Query().Get("id"); idStr != "" {
+				id, err := trace.ParseID(idStr)
+				if err != nil {
+					http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				writeJSON(w, map[string]any{"trace": idStr, "spans": tr.TraceSpans(id)})
+				return
+			}
+			limit := 0
+			if ls := r.URL.Query().Get("limit"); ls != "" {
+				if n, err := strconv.Atoi(ls); err == nil {
+					limit = n
+				}
+			}
+			pinned := []string{}
+			for _, id := range tr.Pinned() {
+				pinned = append(pinned, trace.IDString(id))
+			}
+			writeJSON(w, map[string]any{
+				"pinned": pinned,
+				"spans":  tr.Recent(limit),
+			})
+		})
+		mux.HandleFunc("/debug/currentOp", func(w http.ResponseWriter, r *http.Request) {
+			ops := srv.CurrentOps()
+			if ops == nil {
+				ops = []trace.OpInfo{}
+			}
+			writeJSON(w, map[string]any{"inprog": ops})
+		})
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			logger.Fatalf("http listen: %v", err)
 		}
-		logger.Printf("scrape endpoints on http://%s/metrics (Prometheus), /metrics.json, /healthz", hln.Addr())
+		logger.Printf("scrape endpoints on http://%s/metrics (Prometheus), /metrics.json, /healthz, /debug/trace, /debug/currentOp", hln.Addr())
 		go func() {
 			if err := http.Serve(hln, mux); err != nil {
 				logger.Printf("http serve: %v", err)

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"strconv"
+	"sync"
+
+	"decongestant/internal/obs"
+)
+
+// FreshnessExemplar is one audited secondary read: the bound the
+// session promised (0 = none), the staleness observed at serve time,
+// and the read's trace id when it was sampled — the exemplar that
+// makes a histogram bucket attributable to a concrete operation.
+type FreshnessExemplar struct {
+	BoundSecs    int64
+	ObservedSecs int64
+	Trace        uint64
+	Violation    bool
+}
+
+const freshnessExemplarCap = 128
+
+// freshnessAuditor turns the paper's §4.1.2 per-read staleness
+// guarantee into a continuously checked invariant: every read served
+// by a secondary is recorded into a per-bound observed-staleness
+// histogram, and any read that exceeded its promised bound fires the
+// freshness.bound_violations counter. The caller pins the violating
+// trace so its spans survive ring eviction.
+type freshnessAuditor struct {
+	reg        *obs.Registry
+	violations *obs.Counter
+
+	mu        sync.Mutex
+	hists     map[int64]*obs.Histogram
+	exemplars [freshnessExemplarCap]FreshnessExemplar
+	next      int
+	filled    bool
+}
+
+func newFreshnessAuditor(reg *obs.Registry) *freshnessAuditor {
+	return &freshnessAuditor{
+		reg:        reg,
+		violations: reg.Counter("freshness.bound_violations"),
+		hists:      make(map[int64]*obs.Histogram),
+	}
+}
+
+// record files one secondary-served read and reports whether it
+// violated its promised bound. Exemplars are kept for every sampled
+// read and unconditionally for violations.
+func (a *freshnessAuditor) record(boundSecs, observedSecs int64, traceID uint64) bool {
+	violated := boundSecs > 0 && observedSecs > boundSecs
+	a.mu.Lock()
+	h := a.hists[boundSecs]
+	if h == nil {
+		label := "none"
+		if boundSecs > 0 {
+			label = strconv.FormatInt(boundSecs, 10)
+		}
+		h = a.reg.Histogram(obs.Name("freshness.observed_staleness_secs", "bound", label))
+		a.hists[boundSecs] = h
+	}
+	if traceID != 0 || violated {
+		a.exemplars[a.next] = FreshnessExemplar{
+			BoundSecs:    boundSecs,
+			ObservedSecs: observedSecs,
+			Trace:        traceID,
+			Violation:    violated,
+		}
+		a.next++
+		if a.next == freshnessExemplarCap {
+			a.next = 0
+			a.filled = true
+		}
+	}
+	a.mu.Unlock()
+	h.ObserveN(observedSecs)
+	if violated {
+		a.violations.Inc(1)
+	}
+	return violated
+}
+
+// exemplarList returns the retained exemplars oldest-first.
+func (a *freshnessAuditor) exemplarList() []FreshnessExemplar {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.filled {
+		out := make([]FreshnessExemplar, a.next)
+		copy(out, a.exemplars[:a.next])
+		return out
+	}
+	out := make([]FreshnessExemplar, 0, freshnessExemplarCap)
+	out = append(out, a.exemplars[a.next:]...)
+	out = append(out, a.exemplars[:a.next]...)
+	return out
+}

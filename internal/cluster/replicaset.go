@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"fmt"
-	"sync"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"decongestant/internal/obs"
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
@@ -25,9 +27,13 @@ type ReplicaSet struct {
 	// at a time, where those paths would only perturb the event
 	// schedule — it keeps the direct, deterministic code.
 	realtime bool
+	tracer   *trace.Recorder
+	audit    *freshnessAuditor
 
-	mu        sync.Mutex
-	primaryID int
+	// primaryID is atomic rather than mutexed because the read hot
+	// path now consults it on every operation (the freshness auditor
+	// must know whether the serving node is a secondary).
+	primaryID atomic.Int32
 }
 
 // New builds and starts a replica set. Zero-valued Config fields take
@@ -36,6 +42,11 @@ func New(env sim.Env, cfg Config) *ReplicaSet {
 	cfg = cfg.withDefaults()
 	_, realtime := env.(*sim.RealtimeEnv)
 	rs := &ReplicaSet{env: env, cfg: cfg, net: newNetwork(env, cfg), metrics: obs.NewRegistry(), realtime: realtime}
+	// Ring 0 holds client/server-side spans (Node -1), rings 1..N the
+	// per-node exec spans.
+	rs.tracer = trace.NewRecorder(env.NewRand("trace"), trace.Config{Rings: cfg.Nodes + 1})
+	rs.tracer.Register(rs.metrics)
+	rs.audit = newFreshnessAuditor(rs.metrics)
 	for i := 0; i < cfg.Nodes; i++ {
 		zone := cfg.Zones[i%len(cfg.Zones)]
 		rs.nodes = append(rs.nodes, newNode(rs, i, zone))
@@ -60,11 +71,18 @@ func (rs *ReplicaSet) Env() sim.Env { return rs.env }
 // Network returns the zone RTT model.
 func (rs *ReplicaSet) Network() *Network { return rs.net }
 
+// Tracer returns the replica set's span recorder. The in-process
+// driver, router, and wire server all record into it, so one trace id
+// retrieves the whole causal tree.
+func (rs *ReplicaSet) Tracer() *trace.Recorder { return rs.tracer }
+
+// FreshnessExemplars returns the auditor's recent per-read staleness
+// exemplars (newest last).
+func (rs *ReplicaSet) FreshnessExemplars() []FreshnessExemplar { return rs.audit.exemplarList() }
+
 // PrimaryID returns the current primary's node id.
 func (rs *ReplicaSet) PrimaryID() int {
-	rs.mu.Lock()
-	defer rs.mu.Unlock()
-	return rs.primaryID
+	return int(rs.primaryID.Load())
 }
 
 // Primary returns the current primary node.
@@ -134,10 +152,7 @@ func (rs *ReplicaSet) SetDown(id int, down bool) {
 // traversal, CPU queueing and service time proportional to the read
 // units the body consumes. It returns the body's result.
 func (rs *ReplicaSet) ExecRead(p sim.Proc, nodeID int, fn func(v ReadView) (any, error)) (any, error) {
-	n := rs.nodes[nodeID]
-	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
-	res, err := n.execRead(p, fn)
-	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
+	res, _, err := rs.ExecReadMeta(p, nodeID, oplog.Zero, ReadMeta{}, fn)
 	return res, err
 }
 
@@ -406,9 +421,7 @@ func (rs *ReplicaSet) Failover(p sim.Proc) int {
 	winner.mu.Unlock()
 	winner.applyMu.Unlock()
 	winner.applyGate.Broadcast()
-	rs.mu.Lock()
-	rs.primaryID = best
-	rs.mu.Unlock()
+	rs.primaryID.Store(int32(best))
 	return best
 }
 
@@ -420,9 +433,67 @@ func (rs *ReplicaSet) Failover(p sim.Proc) int {
 // lastApplied at execution time alongside the result, so sessions can
 // thread their causal token forward.
 func (rs *ReplicaSet) ExecReadAfter(p sim.Proc, nodeID int, after oplog.OpTime, fn func(v ReadView) (any, error)) (any, oplog.OpTime, error) {
+	return rs.ExecReadMeta(p, nodeID, after, ReadMeta{}, fn)
+}
+
+// ReadMeta carries per-operation observability into the read path: the
+// trace context (zero when unsampled) and the freshness bound, in
+// seconds, the client's session promised for this read (0 = none).
+type ReadMeta struct {
+	Ctx       trace.Context
+	BoundSecs int64
+}
+
+// ExecReadMeta is ExecReadAfter plus the observability layer. When the
+// context is live, the node-exec hop is recorded as a span (annotated
+// with the served OpTime and, on secondaries, the observed staleness).
+// Independently of sampling, every read served by a secondary is
+// stamped by the freshness auditor with
+//
+//	observed_staleness = primary lastApplied − serving node lastApplied
+//
+// at serve time; the primary's lastApplied is the commit-point proxy —
+// it can only overestimate the majority commit point, so the audit
+// errs conservative (DESIGN.md §12). Reads that exceed their promised
+// bound bump freshness.bound_violations and pin the offending trace.
+func (rs *ReplicaSet) ExecReadMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta ReadMeta, fn func(v ReadView) (any, error)) (any, oplog.OpTime, error) {
 	n := rs.nodes[nodeID]
 	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
+	live := meta.Ctx.Live()
+	var spanID uint64
+	var start time.Duration
+	if live {
+		spanID = rs.tracer.NewSpanID()
+		start = p.Now()
+	}
 	res, ts, err := n.execReadAfter(p, after, fn)
+	var attrs []trace.Attr
+	if err == nil && nodeID != rs.PrimaryID() {
+		observed := rs.Primary().LastApplied().LagSeconds(ts)
+		if rs.audit.record(meta.BoundSecs, observed, meta.Ctx.TraceID) {
+			rs.tracer.Pin(meta.Ctx.TraceID)
+		}
+		if live {
+			attrs = []trace.Attr{
+				{K: "optime", V: ts.String()},
+				{K: "staleness_secs", V: strconv.FormatInt(observed, 10)},
+			}
+		}
+	} else if live && err == nil {
+		attrs = []trace.Attr{{K: "optime", V: ts.String()}}
+	}
+	if live {
+		rs.tracer.Record(trace.Span{
+			Trace:  meta.Ctx.TraceID,
+			ID:     spanID,
+			Parent: meta.Ctx.SpanID,
+			Name:   "node.exec_read",
+			Node:   nodeID,
+			Start:  start,
+			Dur:    p.Now() - start,
+			Attrs:  attrs,
+		})
+	}
 	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
 	return res, ts, err
 }

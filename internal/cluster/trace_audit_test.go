@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"decongestant/internal/obs/trace"
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// TestMajorityWaitSpanCarriesBlockedOpTime asserts a traced w:majority
+// write records the replication-wait span annotated with the OpTime it
+// blocked on, with a duration reflecting the actual wait.
+func TestMajorityWaitSpanCarriesBlockedOpTime(t *testing.T) {
+	env := sim.NewEnv(41)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.ReplIdlePoll = 400 * time.Millisecond
+	cfg.DisableTailWake = true
+	rs := New(env, cfg)
+
+	tctx := rs.Tracer().ForceTrace()
+	var commit string
+	env.Spawn("client", func(p sim.Proc) {
+		_, ts, err := rs.ExecWriteConcernMeta(p, WMajority, ReadMeta{Ctx: tctx}, func(tx WriteTxn) (any, error) {
+			return nil, tx.Insert("kv", storage.D{"_id": "maj", "v": 1})
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		commit = ts.String()
+	})
+	env.Run(10 * time.Second)
+
+	spans := rs.Tracer().TraceSpans(tctx.TraceID)
+	var wait, exec *trace.Span
+	for i := range spans {
+		switch spans[i].Name {
+		case "write.majority_wait":
+			wait = &spans[i]
+		case "node.exec_write":
+			exec = &spans[i]
+		}
+	}
+	if exec == nil {
+		t.Fatalf("no node.exec_write span in %+v", spans)
+	}
+	if wait == nil {
+		t.Fatalf("no write.majority_wait span in %+v", spans)
+	}
+	var blocked, w string
+	for _, a := range wait.Attrs {
+		switch a.K {
+		case "blocked_on":
+			blocked = a.V
+		case "w":
+			w = a.V
+		}
+	}
+	if blocked != commit || blocked == "" {
+		t.Fatalf("majority wait blocked_on %q, want commit %q", blocked, commit)
+	}
+	if w != "majority" {
+		t.Fatalf("majority wait w=%q", w)
+	}
+	// The 400ms poll makes the wait macroscopic.
+	if wait.Dur < 100*time.Millisecond {
+		t.Fatalf("majority wait span duration %v suspiciously small under a 400ms poll", wait.Dur)
+	}
+}
+
+// TestFreshnessAuditorFlagsExactlyLaggedReads injects replication lag
+// (frozen pull loop) and checks the auditor end to end: the observed
+// staleness matches the true primary/secondary gap, only the read whose
+// promised bound the lag exceeds fires the violation counter, the
+// violating trace is pinned, and primary reads are never audited.
+func TestFreshnessAuditorFlagsExactlyLaggedReads(t *testing.T) {
+	env := sim.NewEnv(42)
+	defer env.Shutdown()
+	cfg := fastConfig()
+	cfg.ReplIdlePoll = time.Hour // replication frozen: secondaries stay at OpTime zero
+	cfg.DisableTailWake = true
+	rs := New(env, cfg)
+
+	primary := rs.PrimaryID()
+	secondary := (primary + 1) % cfg.Nodes
+
+	violCtx := rs.Tracer().ForceTrace()
+	okCtx := rs.Tracer().ForceTrace()
+	var observed int64 = -1
+	env.Spawn("client", func(p sim.Proc) {
+		// Two writes 4 virtual seconds apart: the primary's applied
+		// OpTime advances to second 4 while the frozen secondary stays
+		// at zero, so true staleness is exactly 4 whole seconds.
+		_, err := rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+			return nil, tx.Insert("kv", storage.D{"_id": "a", "v": 1})
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(4 * time.Second)
+		if _, err = rs.ExecWrite(p, func(tx WriteTxn) (any, error) {
+			return nil, tx.Insert("kv", storage.D{"_id": "b", "v": 2})
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		wantLag := rs.Primary().LastApplied().LagSeconds(rs.Node(secondary).LastApplied())
+
+		// Secondary read promising a 3s bound: 4s observed > 3s → flag.
+		_, _, err = rs.ExecReadMeta(p, secondary, oplog.Zero, ReadMeta{Ctx: violCtx, BoundSecs: 3},
+			func(v ReadView) (any, error) { return nil, nil })
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		observed = wantLag
+
+		// Secondary read with a generous 10s bound: audited, not flagged.
+		if _, _, err = rs.ExecReadMeta(p, secondary, oplog.Zero, ReadMeta{Ctx: okCtx, BoundSecs: 10},
+			func(v ReadView) (any, error) { return nil, nil }); err != nil {
+			t.Error(err)
+			return
+		}
+		// Primary read with a tight bound: never audited.
+		if _, _, err = rs.ExecReadMeta(p, primary, oplog.Zero, ReadMeta{BoundSecs: 1},
+			func(v ReadView) (any, error) { return nil, nil }); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run(time.Minute)
+
+	if observed != 4 {
+		t.Fatalf("true primary/secondary lag %ds, want 4s", observed)
+	}
+	snap := rs.Metrics().Snapshot()
+	if got := snap.CounterValue("freshness.bound_violations"); got != 1 {
+		t.Fatalf("bound violations = %d, want exactly 1", got)
+	}
+
+	exemplars := rs.FreshnessExemplars()
+	if len(exemplars) != 2 {
+		t.Fatalf("got %d exemplars, want 2 (both secondary reads): %+v", len(exemplars), exemplars)
+	}
+	viol := exemplars[0]
+	if !viol.Violation || viol.Trace != violCtx.TraceID || viol.BoundSecs != 3 || viol.ObservedSecs != 4 {
+		t.Fatalf("violation exemplar wrong: %+v", viol)
+	}
+	if ok := exemplars[1]; ok.Violation || ok.Trace != okCtx.TraceID || ok.ObservedSecs != 4 {
+		t.Fatalf("in-bound exemplar wrong: %+v", ok)
+	}
+
+	// The offending trace — and only it — is pinned against eviction.
+	pinned := rs.Tracer().Pinned()
+	if len(pinned) != 1 || pinned[0] != violCtx.TraceID {
+		t.Fatalf("pinned traces %v, want exactly [%x]", pinned, violCtx.TraceID)
+	}
+	if spans := rs.Tracer().TraceSpans(violCtx.TraceID); len(spans) == 0 {
+		t.Fatal("pinned violating trace has no retained spans")
+	}
+}

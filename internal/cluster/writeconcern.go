@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"sort"
+	"time"
 
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 )
@@ -36,11 +38,59 @@ func (w WriteConcern) String() string {
 // commit, instead of rescanning the known table on every gossip
 // message.
 func (rs *ReplicaSet) ExecWriteConcern(p sim.Proc, wc WriteConcern, fn func(tx WriteTxn) (any, error)) (any, oplog.OpTime, error) {
+	return rs.ExecWriteConcernMeta(p, wc, ReadMeta{}, fn)
+}
+
+// ExecWriteConcernMeta is ExecWriteConcern with trace annotation: a
+// live context records the primary-exec hop as a span carrying the
+// commit OpTime, and for WMajority a separate span around the majority
+// wait annotated with the OpTime it blocked on — making replication
+// stalls attributable per operation.
+func (rs *ReplicaSet) ExecWriteConcernMeta(p sim.Proc, wc WriteConcern, meta ReadMeta, fn func(tx WriteTxn) (any, error)) (any, oplog.OpTime, error) {
+	live := meta.Ctx.Live()
+	var execID uint64
+	var start time.Duration
+	primary := rs.PrimaryID()
+	if live {
+		execID = rs.tracer.NewSpanID()
+		start = p.Now()
+	}
 	res, commit, err := rs.ExecWriteTracked(p, fn)
+	if live {
+		rs.tracer.Record(trace.Span{
+			Trace:  meta.Ctx.TraceID,
+			ID:     execID,
+			Parent: meta.Ctx.SpanID,
+			Name:   "node.exec_write",
+			Node:   primary,
+			Start:  start,
+			Dur:    p.Now() - start,
+			Attrs:  []trace.Attr{{K: "optime", V: commit.String()}},
+		})
+	}
 	if err != nil || wc == W1 || commit.IsZero() {
 		return res, commit, err
 	}
+	var waitStart time.Duration
+	if live {
+		waitStart = p.Now()
+	}
 	rs.Primary().awaitMajorityKnown(p, commit)
+	if live {
+		rs.tracer.Record(trace.Span{
+			Trace:  meta.Ctx.TraceID,
+			ID:     rs.tracer.NewSpanID(),
+			Parent: meta.Ctx.SpanID,
+			Name:   "write.majority_wait",
+			Node:   primary,
+			Start:  waitStart,
+			Dur:    p.Now() - waitStart,
+			Attrs: []trace.Attr{
+				{K: "blocked_on", V: commit.String()},
+				{K: "w", V: wc.String()},
+			},
+		})
+	}
 	return res, commit, nil
 }
 

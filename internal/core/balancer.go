@@ -183,6 +183,18 @@ func (r *decisionRing) add(d Decision) {
 	}
 }
 
+// last returns the most recent decision, if any.
+func (r *decisionRing) last() (Decision, bool) {
+	if r.n == 0 {
+		return Decision{}, false
+	}
+	i := r.next - 1
+	if i < 0 {
+		i += len(r.buf)
+	}
+	return r.buf[i], true
+}
+
 // list returns the retained decisions, oldest first.
 func (r *decisionRing) list() []Decision {
 	out := make([]Decision, 0, r.n)
@@ -242,6 +254,7 @@ type Balancer struct {
 	gated        bool
 	stats        Stats
 	decisions    *decisionRing
+	lastPollAt   time.Duration // env time of the last successful staleness poll; -1 before the first
 	ewmaPrimary  time.Duration // smoothed client-observed latency per role,
 	ewmaSecond   time.Duration // fed by Record; used by the SLA router
 
@@ -252,6 +265,7 @@ type Balancer struct {
 	obsGateTrips *obs.Counter
 	obsPolls     *obs.Counter
 	obsPollSkips *obs.Counter
+	obsPollErrs  *obs.Counter
 	obsRTTSkips  *obs.Counter
 }
 
@@ -281,8 +295,25 @@ func NewBalancer(env sim.Env, client *driver.Client, params Params) *Balancer {
 	b.obsGateTrips = reg.Counter("balancer.gate_trips")
 	b.obsPolls = reg.Counter("balancer.status_polls")
 	b.obsPollSkips = reg.Counter("balancer.status_skips")
+	b.obsPollErrs = reg.Counter("balancer.staleness_poll_errors")
 	b.obsRTTSkips = reg.Counter("balancer.rtt_skips")
 	b.obsFraction.Set(int64(b.balPct))
+	b.lastPollAt = -1
+	// Surface poller liveness in serverStatus snapshots: the age of the
+	// last *successful* staleness poll. A wedged or always-failing
+	// poller shows up as a growing age (-1 until the first success)
+	// instead of silently stale gate state.
+	pollAge := reg.Gauge("balancer.staleness_poll_age_secs")
+	reg.RegisterCollector(func() {
+		b.mu.Lock()
+		last := b.lastPollAt
+		b.mu.Unlock()
+		if last < 0 {
+			pollAge.Set(-1)
+			return
+		}
+		pollAge.Set(int64((b.env.Now() - last) / time.Second))
+	})
 	return b
 }
 
@@ -338,6 +369,15 @@ func (b *Balancer) Decisions() []Decision {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.decisions.list()
+}
+
+// LastDecision returns the most recent period-end decision, if one has
+// been made — the reason code the router links into a sampled read's
+// trace.
+func (b *Balancer) LastDecision() (Decision, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.decisions.last()
 }
 
 // Record reports one client-observed read latency for the given Read
@@ -424,8 +464,12 @@ func (b *Balancer) stalenessLoop(p sim.Proc) {
 		if !st.OK() {
 			// The polled node is down or unreachable (common mid-
 			// failover). Skip the sample: a member-less status would
-			// read as zero staleness and silently open the gate.
+			// read as zero staleness and silently open the gate. The
+			// failure is counted (staleness_poll_errors) and the last
+			// successful poll's age keeps growing in serverStatus, so a
+			// wedged poller is visible rather than silent.
 			b.obsPollSkips.Inc(1)
+			b.obsPollErrs.Inc(1)
 			b.mu.Lock()
 			b.stats.StatusPolls++
 			b.stats.StatusSkips++
@@ -438,6 +482,7 @@ func (b *Balancer) stalenessLoop(p sim.Proc) {
 		b.mu.Lock()
 		b.stats.StatusPolls++
 		b.maxStale = stale
+		b.lastPollAt = p.Now()
 		b.applyGateLocked()
 		b.mu.Unlock()
 		b.obsStaleness.Set(stale)

@@ -2,11 +2,13 @@ package core
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"decongestant/internal/cluster"
 	"decongestant/internal/driver"
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/sim"
 )
 
@@ -53,10 +55,84 @@ func (r *Router) Choose() driver.ReadPref {
 // destination (the experiments report measured percentages, not the
 // suggested fraction).
 func (r *Router) Read(p sim.Proc, fn func(v cluster.ReadView) (any, error)) (any, driver.ReadPref, time.Duration, error) {
+	res, pref, lat, _, err := r.ReadTraced(p, fn)
+	return res, pref, lat, err
+}
+
+// ReadTraced is Read plus the trace id it ran under (0 when the
+// sampling coin came up unsampled). The router is the trace
+// originator for balanced reads: a sampled read gets a router.read
+// root span, a balancer.decision child span recording the routing
+// choice and the balancer state that produced it (reason code,
+// fraction, staleness estimate at decision time, gate state), and the
+// same decision snapshot rides the wire in the trace context so the
+// server's slow-op log can attribute the op to its routing. Reads the
+// coin sends to a secondary also declare the balancer's staleness
+// bound, arming the serving side's freshness auditor.
+func (r *Router) ReadTraced(p sim.Proc, fn func(v cluster.ReadView) (any, error)) (any, driver.ReadPref, time.Duration, uint64, error) {
 	pref := r.Choose()
-	res, _, lat, err := r.client.Read(p, driver.ReadOptions{Pref: pref}, fn)
+	tracer := r.client.Tracer()
+	tctx := tracer.StartTrace()
+	opts := driver.ReadOptions{Pref: pref}
+	if pref == driver.Secondary {
+		opts.AuditBoundSecs = r.balancer.Params().StaleBound
+	}
+	child := tctx
+	var start time.Duration
+	if tctx.Live() {
+		start = p.Now()
+		rootID := tracer.NewSpanID()
+		staleSecs := r.balancer.MaxStaleness()
+		fracPct := r.balancer.FractionPct()
+		gated := r.balancer.Gated()
+		reason := ""
+		if d, ok := r.balancer.LastDecision(); ok {
+			reason = d.Reason
+		}
+		tracer.Record(trace.Span{
+			Trace:  tctx.TraceID,
+			ID:     tracer.NewSpanID(),
+			Parent: rootID,
+			Name:   "balancer.decision",
+			Node:   -1,
+			Start:  start,
+			Attrs: []trace.Attr{
+				{K: "pref", V: pref.String()},
+				{K: "reason", V: reason},
+				{K: "frac_pct", V: strconv.Itoa(fracPct)},
+				{K: "stale_secs", V: strconv.FormatInt(staleSecs, 10)},
+				{K: "gated", V: strconv.FormatBool(gated)},
+			},
+		})
+		child = trace.Context{
+			TraceID: tctx.TraceID,
+			SpanID:  rootID,
+			Route: &trace.Route{
+				Pref:      pref.String(),
+				Reason:    reason,
+				FracPct:   fracPct,
+				StaleSecs: staleSecs,
+				Gated:     gated,
+			},
+		}
+	}
+	res, node, lat, err := r.client.ReadTraced(p, opts, child, fn)
+	if tctx.Live() {
+		tracer.Record(trace.Span{
+			Trace: tctx.TraceID,
+			ID:    child.SpanID,
+			Name:  "router.read",
+			Node:  -1,
+			Start: start,
+			Dur:   p.Now() - start,
+			Attrs: []trace.Attr{
+				{K: "pref", V: pref.String()},
+				{K: "node", V: strconv.Itoa(node)},
+			},
+		})
+	}
 	if err != nil {
-		return nil, pref, lat, err
+		return nil, pref, lat, tctx.TraceID, err
 	}
 	r.balancer.Record(pref, lat)
 	r.mu.Lock()
@@ -66,7 +142,7 @@ func (r *Router) Read(p sim.Proc, fn func(v cluster.ReadView) (any, error)) (any
 		r.nPrimary++
 	}
 	r.mu.Unlock()
-	return res, pref, lat, nil
+	return res, pref, lat, tctx.TraceID, nil
 }
 
 // Write forwards a write transaction to the primary via the driver.

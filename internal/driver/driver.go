@@ -13,11 +13,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"decongestant/internal/cluster"
 	"decongestant/internal/obs"
+	"decongestant/internal/obs/trace"
+	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 )
 
@@ -80,6 +83,13 @@ type ReadOptions struct {
 	// staleness exceeds the value. 0 means no bound. Values below
 	// SmallestMaxStalenessSeconds are rejected, as in MongoDB.
 	MaxStalenessSeconds int64
+	// AuditBoundSecs is the freshness bound, in seconds, the caller
+	// promises for this read — the value the serving side's freshness
+	// auditor checks observed staleness against. Unlike
+	// MaxStalenessSeconds it does not affect routing and has no floor
+	// (the Decongestant balancer bounds staleness far below MongoDB's);
+	// 0 means no declared bound.
+	AuditBoundSecs int64
 }
 
 // Conn abstracts the deployed replica set from the client's side —
@@ -95,8 +105,29 @@ type Conn interface {
 	ServerStatus(p sim.Proc, nodeID int) cluster.Status
 }
 
-// Statically assert the in-process replica set satisfies Conn.
-var _ Conn = (*clusterConn)(nil)
+// TracedConn is the optional connection capability that threads a
+// trace context and an audited staleness bound through read execution
+// (cluster.ExecReadMeta). Both the in-process replica set and the wire
+// client implement it; plain Conns simply skip per-read auditing.
+type TracedConn interface {
+	Conn
+	ExecReadMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta cluster.ReadMeta, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error)
+}
+
+// TraceProvider is implemented by connections that carry their own
+// span recorder. The driver records its spans there, so one trace id
+// retrieves every hop from driver to serving node.
+type TraceProvider interface {
+	Tracer() *trace.Recorder
+}
+
+// Statically assert the in-process replica set satisfies Conn and the
+// trace capabilities.
+var (
+	_ Conn          = (*clusterConn)(nil)
+	_ TracedConn    = (*clusterConn)(nil)
+	_ TraceProvider = (*clusterConn)(nil)
+)
 
 type clusterConn struct{ *cluster.ReplicaSet }
 
@@ -116,9 +147,10 @@ type MetricsProvider interface {
 // workload processes. It is safe for concurrent use under the
 // real-time environment.
 type Client struct {
-	conn Conn
-	rng  *rand.Rand
-	reg  *obs.Registry
+	conn   Conn
+	rng    *rand.Rand
+	reg    *obs.Registry
+	tracer *trace.Recorder
 
 	// Cached registry instruments (atomic; no lock needed).
 	obsSelections  [5]*obs.Counter // indexed by ReadPref
@@ -147,6 +179,11 @@ func NewClient(env sim.Env, conn Conn) *Client {
 		reg:  reg,
 		rtt:  make(map[int]time.Duration),
 	}
+	if tp, ok := conn.(TraceProvider); ok {
+		c.tracer = tp.Tracer()
+	} else {
+		c.tracer = trace.NewRecorder(env.NewRand("driver-trace"), trace.Config{})
+	}
 	for pref := Primary; pref <= Nearest; pref++ {
 		c.obsSelections[pref] = reg.Counter(obs.Name("driver.selections", "pref", pref.String()))
 	}
@@ -159,6 +196,11 @@ func NewClient(env sim.Env, conn Conn) *Client {
 
 // Conn returns the underlying connection.
 func (c *Client) Conn() Conn { return c.conn }
+
+// Tracer returns the span recorder the client's reads record into —
+// the connection's own recorder when it provides one. Sampling is
+// controlled there (Recorder.SetSampling).
+func (c *Client) Tracer() *trace.Recorder { return c.tracer }
 
 // Metrics returns the registry the client's instruments live in —
 // the connection's own registry when it provides one.
@@ -306,8 +348,74 @@ func (c *Client) pickWithinWindow(candidates []int) int {
 // Read selects a server per opts and runs the read body there,
 // retrying once on the fallback role for the *Preferred preferences.
 // It returns the body result, the chosen node, and the end-to-end
-// latency observed by the client.
+// latency observed by the client. Read originates the trace sampling
+// decision; with sampling off and no audit bound it is the untraced
+// fast path.
 func (c *Client) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, error) {
+	return c.ReadTraced(p, opts, c.tracer.StartTrace(), fn)
+}
+
+// ReadTraced is Read under an externally originated trace context (the
+// core router passes one carrying the balancer's routing decision):
+// the read is recorded as a driver.read span parented on tctx, and the
+// context plus opts.AuditBoundSecs propagate to the serving node. With
+// a dead context and no bound it behaves exactly like the pre-trace
+// Read.
+func (c *Client) ReadTraced(p sim.Proc, opts ReadOptions, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, error) {
+	tc, traced := c.conn.(TracedConn)
+	if !traced || (!tctx.Live() && opts.AuditBoundSecs == 0) {
+		return c.readPlain(p, opts, fn)
+	}
+	nodeID, err := c.SelectServer(opts)
+	if err != nil {
+		return nil, -1, 0, err
+	}
+	var spanID uint64
+	if tctx.Live() {
+		spanID = c.tracer.NewSpanID()
+	}
+	meta := cluster.ReadMeta{
+		Ctx:       trace.Context{TraceID: tctx.TraceID, SpanID: spanID, Route: tctx.Route},
+		BoundSecs: opts.AuditBoundSecs,
+	}
+	start := p.Now()
+	res, _, err := tc.ExecReadMeta(p, nodeID, oplog.Zero, meta, fn)
+	if errors.Is(err, cluster.ErrNodeDown) {
+		switch opts.Pref {
+		case PrimaryPreferred:
+			fallback := opts
+			fallback.Pref = Secondary
+			if id2, err2 := c.SelectServer(fallback); err2 == nil {
+				c.obsFallbacks.Inc(1)
+				res, _, err = tc.ExecReadMeta(p, id2, oplog.Zero, meta, fn)
+				nodeID = id2
+			}
+		case SecondaryPreferred:
+			c.obsFallbacks.Inc(1)
+			nodeID = c.conn.PrimaryID()
+			res, _, err = tc.ExecReadMeta(p, nodeID, oplog.Zero, meta, fn)
+		}
+	}
+	lat := p.Now() - start
+	if tctx.Live() {
+		c.tracer.Record(trace.Span{
+			Trace:  tctx.TraceID,
+			ID:     spanID,
+			Parent: tctx.SpanID,
+			Name:   "driver.read",
+			Node:   -1,
+			Start:  start,
+			Dur:    lat,
+			Attrs: []trace.Attr{
+				{K: "pref", V: opts.Pref.String()},
+				{K: "node", V: strconv.Itoa(nodeID)},
+			},
+		})
+	}
+	return res, nodeID, lat, err
+}
+
+func (c *Client) readPlain(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, error) {
 	nodeID, err := c.SelectServer(opts)
 	if err != nil {
 		return nil, -1, 0, err

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"decongestant/internal/cluster"
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 )
@@ -74,7 +75,10 @@ func (s *Session) advance(ts oplog.OpTime) {
 
 // Read routes a read with the given options; under a causal connection
 // it waits at the target node for the session's operationTime before
-// executing, and advances the token to the node's applied time.
+// executing, and advances the token to the node's applied time. The
+// session originates the trace sampling decision like Client.Read, and
+// the context rides alongside the causal token when the connection is
+// also a TracedConn.
 func (s *Session) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, error) {
 	if s.causal == nil {
 		return s.client.Read(p, opts, fn)
@@ -83,8 +87,38 @@ func (s *Session) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView)
 	if err != nil {
 		return nil, -1, 0, err
 	}
+	tctx := s.client.tracer.StartTrace()
+	tc, traced := s.causal.(TracedConn)
 	start := p.Now()
-	res, ts, err := s.causal.ExecReadAfter(p, nodeID, s.opTime, fn)
+	var res any
+	var ts oplog.OpTime
+	if traced && (tctx.Live() || opts.AuditBoundSecs != 0) {
+		var spanID uint64
+		if tctx.Live() {
+			spanID = s.client.tracer.NewSpanID()
+		}
+		meta := cluster.ReadMeta{
+			Ctx:       trace.Context{TraceID: tctx.TraceID, SpanID: spanID},
+			BoundSecs: opts.AuditBoundSecs,
+		}
+		res, ts, err = tc.ExecReadMeta(p, nodeID, s.opTime, meta, fn)
+		if tctx.Live() {
+			s.client.tracer.Record(trace.Span{
+				Trace: tctx.TraceID,
+				ID:    spanID,
+				Name:  "session.read",
+				Node:  -1,
+				Start: start,
+				Dur:   p.Now() - start,
+				Attrs: []trace.Attr{
+					{K: "pref", V: opts.Pref.String()},
+					{K: "after", V: s.opTime.String()},
+				},
+			})
+		}
+	} else {
+		res, ts, err = s.causal.ExecReadAfter(p, nodeID, s.opTime, fn)
+	}
 	if err == nil {
 		s.advance(ts)
 	}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFreshnessAuditGateVsNaive is the acceptance check for the PR 7
+// freshness experiment: under identical 6 s sawtooth lag and a 3 s
+// per-read bound, the Decongestant router's staleness gate yields zero
+// audited violations, while the naive fixed-secondary client violates
+// and retains the offending traces.
+func TestFreshnessAuditGateVsNaive(t *testing.T) {
+	res := RunFreshnessAudit(1, 120*time.Second)
+	r, s := res.Router, res.Secondary
+	t.Logf("router:    %+v", r)
+	t.Logf("secondary: %+v", s)
+
+	// Ground truth: the injected lag actually straddles the bound.
+	for _, arm := range []FreshnessArm{r, s} {
+		if arm.TrueMaxLagSecs <= res.BoundSecs {
+			t.Fatalf("%s arm: true max lag %ds never exceeded the %ds bound — no lag injected",
+				arm.Name, arm.TrueMaxLagSecs, res.BoundSecs)
+		}
+		if arm.Reads == 0 {
+			t.Fatalf("%s arm issued no reads", arm.Name)
+		}
+		// The audit histogram records staleness of *served* reads: it
+		// can never exceed the cluster's true worst lag (modulo one
+		// second of measurement granularity — the audit observes at
+		// read instants, the ground-truth sampler on a fixed cadence).
+		if arm.HistMaxSecs > arm.TrueMaxLagSecs+1 {
+			t.Fatalf("%s arm: audit histogram max %ds exceeds true max lag %ds",
+				arm.Name, arm.HistMaxSecs, arm.TrueMaxLagSecs)
+		}
+	}
+
+	// Gate on: the router still uses secondaries (when fresh) but the
+	// audit finds no violations — every served secondary read stayed
+	// within the bound even though the cluster's lag went far past it —
+	// and the gate visibly tripped.
+	if r.HistMaxSecs > res.BoundSecs {
+		t.Fatalf("router arm served a secondary read at %ds observed staleness, beyond the %ds bound",
+			r.HistMaxSecs, res.BoundSecs)
+	}
+	if r.Violations != 0 {
+		t.Fatalf("router arm recorded %d bound violations, want 0 (pinned: %v)",
+			r.Violations, r.PinnedTraces)
+	}
+	if r.SecondaryReads == 0 {
+		t.Fatal("router arm never used a secondary — gate test is vacuous")
+	}
+	if r.GateTrips == 0 {
+		t.Fatal("router arm: staleness gate never tripped under 6s sawtooth lag")
+	}
+	if len(r.PinnedTraces) != 0 {
+		t.Fatalf("router arm pinned traces without violations: %v", r.PinnedTraces)
+	}
+
+	// Gate off: violations recorded, histogram saw beyond-bound
+	// staleness, and each violating trace is pinned with spans intact.
+	if s.Violations == 0 {
+		t.Fatal("secondary arm recorded no violations under 6s lag with a 3s bound")
+	}
+	if s.HistMaxSecs <= res.BoundSecs {
+		t.Fatalf("secondary arm histogram max %ds does not exceed the %ds bound",
+			s.HistMaxSecs, res.BoundSecs)
+	}
+	// The naive arm's audit tracks the full injected lag (within the
+	// one-second measurement granularity).
+	if s.HistMaxSecs < s.TrueMaxLagSecs-1 {
+		t.Fatalf("secondary arm histogram max %ds lags true max lag %ds — audit is under-observing",
+			s.HistMaxSecs, s.TrueMaxLagSecs)
+	}
+	if len(s.PinnedTraces) == 0 {
+		t.Fatal("secondary arm retained no pinned violating traces")
+	}
+	for id, spans := range s.PinnedTraces {
+		if spans == 0 {
+			t.Fatalf("pinned trace %s has no retained spans", id)
+		}
+	}
+}

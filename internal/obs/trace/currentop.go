@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// OpInfo describes one in-flight (or, in a snapshot, then-in-flight)
+// server operation — the currentOp surface. RunningNS is filled at
+// snapshot time from the caller's clock.
+type OpInfo struct {
+	ID         uint64 `json:"opid"`
+	Op         string `json:"op"`
+	Collection string `json:"collection,omitempty"`
+	Node       int    `json:"node"`
+	Trace      uint64 `json:"trace,omitempty"`
+
+	Start     time.Duration `json:"start_ns"`
+	RunningNS int64         `json:"running_ns"`
+}
+
+// OpRegistry tracks in-flight operations for currentOp. It is a plain
+// mutexed map: registration is two short critical sections per op, and
+// the server only enables it when configured to.
+type OpRegistry struct {
+	mu  sync.Mutex
+	seq uint64
+	ops map[uint64]OpInfo
+}
+
+// NewOpRegistry returns an empty registry.
+func NewOpRegistry() *OpRegistry {
+	return &OpRegistry{ops: make(map[uint64]OpInfo)}
+}
+
+// Register files an op as in-flight and returns its opid for Done.
+func (g *OpRegistry) Register(op, collection string, node int, traceID uint64, start time.Duration) uint64 {
+	g.mu.Lock()
+	g.seq++
+	id := g.seq
+	g.ops[id] = OpInfo{
+		ID:         id,
+		Op:         op,
+		Collection: collection,
+		Node:       node,
+		Trace:      traceID,
+		Start:      start,
+	}
+	g.mu.Unlock()
+	return id
+}
+
+// Done removes a finished op.
+func (g *OpRegistry) Done(id uint64) {
+	g.mu.Lock()
+	delete(g.ops, id)
+	g.mu.Unlock()
+}
+
+// Snapshot lists the in-flight ops, longest-running first, with
+// RunningNS computed against now.
+func (g *OpRegistry) Snapshot(now time.Duration) []OpInfo {
+	g.mu.Lock()
+	out := make([]OpInfo, 0, len(g.ops))
+	for _, op := range g.ops {
+		op.RunningNS = int64(now - op.Start)
+		if op.RunningNS < 0 {
+			op.RunningNS = 0
+		}
+		out = append(out, op)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RunningNS != out[j].RunningNS {
+			return out[i].RunningNS > out[j].RunningNS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len reports how many ops are currently in flight.
+func (g *OpRegistry) Len() int {
+	g.mu.Lock()
+	n := len(g.ops)
+	g.mu.Unlock()
+	return n
+}

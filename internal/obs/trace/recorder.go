@@ -1,0 +1,394 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"decongestant/internal/obs"
+)
+
+// Config sizes a Recorder. Zero values take defaults.
+type Config struct {
+	// RingCap is the per-ring span capacity (default 2048).
+	RingCap int
+	// Rings is the number of retention rings; spans are filed by
+	// Node+1 (ring 0 holds client/driver/server spans with Node -1),
+	// clamped into range. Default 1.
+	Rings int
+	// SampleRate is the initial probabilistic sampling rate in [0,1].
+	// Default 0 (off).
+	SampleRate float64
+	// PinnedCap bounds how many traces can be pinned (retained beyond
+	// ring eviction, e.g. freshness-bound violators). Default 64.
+	PinnedCap int
+}
+
+const pinnedSpanCap = 256
+
+func (c Config) withDefaults() Config {
+	if c.RingCap <= 0 {
+		c.RingCap = 2048
+	}
+	if c.Rings <= 0 {
+		c.Rings = 1
+	}
+	if c.PinnedCap <= 0 {
+		c.PinnedCap = 64
+	}
+	return c
+}
+
+// spanRing is a bounded overwrite-oldest span buffer.
+type spanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	full  bool
+	drops uint64
+}
+
+func (r *spanRing) add(s Span) (dropped bool) {
+	r.mu.Lock()
+	if r.full {
+		dropped = true
+		r.drops++
+	}
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+	return dropped
+}
+
+// snapshot appends the ring's live spans (optionally filtered by trace
+// id; 0 = all) to dst.
+func (r *spanRing) snapshot(dst []Span, traceID uint64) []Span {
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		if traceID == 0 || r.buf[i].Trace == traceID {
+			dst = append(dst, r.buf[i])
+		}
+	}
+	r.mu.Unlock()
+	return dst
+}
+
+func (r *spanRing) reset() (drained []Span) {
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	drained = make([]Span, n)
+	copy(drained, r.buf[:n])
+	r.next = 0
+	r.full = false
+	r.mu.Unlock()
+	return drained
+}
+
+// Recorder records spans into per-node bounded rings, hands out trace
+// and span ids, and applies the probabilistic sampling decision. All
+// methods are safe for concurrent use.
+type Recorder struct {
+	cfg   Config
+	rings []*spanRing
+
+	// rate holds math.Float64bits of the sampling rate; 0 bits means
+	// sampling off, so the StartTrace fast path is one atomic load.
+	rate atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	pmu    sync.Mutex
+	pinned map[uint64][]Span
+
+	started  atomic.Uint64 // traces originated here
+	recorded atomic.Uint64 // spans accepted
+	dropped  atomic.Uint64 // spans overwritten before export
+	pinDrops atomic.Uint64 // pins refused at PinnedCap
+}
+
+// NewRecorder builds a Recorder drawing ids and sampling decisions from
+// rng (pass the sim environment's named stream for determinism).
+func NewRecorder(rng *rand.Rand, cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	r := &Recorder{
+		cfg:    cfg,
+		rings:  make([]*spanRing, cfg.Rings),
+		rng:    rng,
+		pinned: make(map[uint64][]Span),
+	}
+	for i := range r.rings {
+		r.rings[i] = &spanRing{buf: make([]Span, cfg.RingCap)}
+	}
+	if cfg.SampleRate > 0 {
+		r.SetSampling(cfg.SampleRate)
+	}
+	return r
+}
+
+// SetSampling sets the probabilistic sampling rate in [0,1]; 0 turns
+// origination off entirely (forced slow-op traces still record).
+func (r *Recorder) SetSampling(rate float64) {
+	if rate <= 0 {
+		r.rate.Store(0)
+		return
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	r.rate.Store(math.Float64bits(rate))
+}
+
+// SampleRate returns the current probabilistic sampling rate.
+func (r *Recorder) SampleRate() float64 {
+	bits := r.rate.Load()
+	if bits == 0 {
+		return 0
+	}
+	return math.Float64frombits(bits)
+}
+
+// StartTrace makes the sampling decision for a new operation: it
+// returns a live Context with a fresh trace id when sampled and the
+// zero Context otherwise. With sampling off the cost is one atomic
+// load and zero allocations.
+func (r *Recorder) StartTrace() Context {
+	bits := r.rate.Load()
+	if bits == 0 {
+		return Context{}
+	}
+	rate := math.Float64frombits(bits)
+	r.rngMu.Lock()
+	sampled := r.rng.Float64() < rate
+	var id uint64
+	if sampled {
+		for id == 0 {
+			id = r.rng.Uint64()
+		}
+	}
+	r.rngMu.Unlock()
+	if !sampled {
+		return Context{}
+	}
+	r.started.Add(1)
+	return Context{TraceID: id}
+}
+
+// ForceTrace unconditionally starts a trace — the always-on-slow
+// sampling path, which retroactively assigns an id to an op that
+// crossed the slow threshold without a client-sampled context.
+func (r *Recorder) ForceTrace() Context {
+	r.started.Add(1)
+	return Context{TraceID: r.NewSpanID()}
+}
+
+// NewSpanID returns a fresh nonzero span id.
+func (r *Recorder) NewSpanID() uint64 {
+	r.rngMu.Lock()
+	var id uint64
+	for id == 0 {
+		id = r.rng.Uint64()
+	}
+	r.rngMu.Unlock()
+	return id
+}
+
+func (r *Recorder) ringFor(node int) *spanRing {
+	i := node + 1
+	if i < 0 || i >= len(r.rings) {
+		i = 0
+	}
+	return r.rings[i]
+}
+
+// Record files a finished span. Spans of pinned traces are also copied
+// into the pinned store so ring eviction cannot lose them.
+func (r *Recorder) Record(s Span) {
+	if s.Trace == 0 {
+		return
+	}
+	r.recorded.Add(1)
+	if r.ringFor(s.Node).add(s) {
+		r.dropped.Add(1)
+	}
+	r.pmu.Lock()
+	if ps, ok := r.pinned[s.Trace]; ok && len(ps) < pinnedSpanCap {
+		r.pinned[s.Trace] = append(ps, s)
+	}
+	r.pmu.Unlock()
+}
+
+// Pin retains a trace beyond ring eviction: its spans recorded so far
+// are copied out of the rings and future spans are appended as they
+// arrive. Used by the freshness auditor to keep bound violators.
+func (r *Recorder) Pin(traceID uint64) {
+	if traceID == 0 {
+		return
+	}
+	r.pmu.Lock()
+	_, exists := r.pinned[traceID]
+	if !exists && len(r.pinned) >= r.cfg.PinnedCap {
+		r.pmu.Unlock()
+		r.pinDrops.Add(1)
+		return
+	}
+	if !exists {
+		r.pinned[traceID] = nil
+	}
+	r.pmu.Unlock()
+	if exists {
+		return
+	}
+	var got []Span
+	for _, ring := range r.rings {
+		got = ring.snapshot(got, traceID)
+	}
+	if len(got) == 0 {
+		return
+	}
+	r.pmu.Lock()
+	if ps, ok := r.pinned[traceID]; ok {
+		room := pinnedSpanCap - len(ps)
+		if room > 0 {
+			if len(got) > room {
+				got = got[:room]
+			}
+			r.pinned[traceID] = append(ps, got...)
+		}
+	}
+	r.pmu.Unlock()
+}
+
+// Pinned lists the pinned trace ids.
+func (r *Recorder) Pinned() []uint64 {
+	r.pmu.Lock()
+	ids := make([]uint64, 0, len(r.pinned))
+	for id := range r.pinned {
+		ids = append(ids, id)
+	}
+	r.pmu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TraceSpans returns every retained span of one trace (rings plus
+// pinned store), deduplicated by span id and sorted by start time.
+func (r *Recorder) TraceSpans(traceID uint64) []Span {
+	if traceID == 0 {
+		return nil
+	}
+	var got []Span
+	for _, ring := range r.rings {
+		got = ring.snapshot(got, traceID)
+	}
+	r.pmu.Lock()
+	got = append(got, r.pinned[traceID]...)
+	r.pmu.Unlock()
+	return dedupeSort(got)
+}
+
+// Recent returns up to limit of the most recently started retained
+// spans across all rings, newest first.
+func (r *Recorder) Recent(limit int) []Span {
+	if limit <= 0 {
+		limit = 256
+	}
+	var got []Span
+	for _, ring := range r.rings {
+		got = ring.snapshot(got, 0)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Start > got[j].Start })
+	if len(got) > limit {
+		got = got[:limit]
+	}
+	return got
+}
+
+// Drain removes and returns every retained span (rings and pinned
+// store) — the client-side trace_push path, which forwards locally
+// recorded spans to the server so one trace op sees the whole tree.
+func (r *Recorder) Drain() []Span {
+	var got []Span
+	for _, ring := range r.rings {
+		got = append(got, ring.reset()...)
+	}
+	r.pmu.Lock()
+	for id, ps := range r.pinned {
+		got = append(got, ps...)
+		delete(r.pinned, id)
+	}
+	r.pmu.Unlock()
+	return dedupeSort(got)
+}
+
+// Import files externally recorded spans (the server side of
+// trace_push). Spans keep their original ids; ring placement follows
+// their Node as usual.
+func (r *Recorder) Import(spans []Span) {
+	for _, s := range spans {
+		r.Record(s)
+	}
+}
+
+// Register exposes the recorder's internals on reg: gauges for spans
+// recorded/dropped, traces started/pinned, and pin refusals, refreshed
+// at snapshot time.
+func (r *Recorder) Register(reg *obs.Registry) {
+	started := reg.Gauge("trace.traces_started")
+	recorded := reg.Gauge("trace.spans_recorded")
+	dropped := reg.Gauge("trace.spans_dropped")
+	pinned := reg.Gauge("trace.traces_pinned")
+	pinDrops := reg.Gauge("trace.pin_refusals")
+	reg.RegisterCollector(func() {
+		started.Set(int64(r.started.Load()))
+		recorded.Set(int64(r.recorded.Load()))
+		dropped.Set(int64(r.dropped.Load()))
+		r.pmu.Lock()
+		pinned.Set(int64(len(r.pinned)))
+		r.pmu.Unlock()
+		pinDrops.Set(int64(r.pinDrops.Load()))
+	})
+}
+
+func dedupeSort(spans []Span) []Span {
+	if len(spans) == 0 {
+		return spans
+	}
+	seen := make(map[uint64]struct{}, len(spans))
+	out := spans[:0]
+	for _, s := range spans {
+		if _, ok := seen[s.ID]; ok {
+			continue
+		}
+		seen[s.ID] = struct{}{}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// IDString formats a trace id the way the trace wire op and the
+// /debug/trace endpoint expect it back: lowercase hex.
+func IDString(id uint64) string { return strconv.FormatUint(id, 16) }
+
+// ParseID parses an IDString-formatted trace id.
+func ParseID(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }

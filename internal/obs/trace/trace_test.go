@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"decongestant/internal/obs"
+)
+
+func newTestRecorder(cfg Config) *Recorder {
+	return NewRecorder(rand.New(rand.NewSource(42)), cfg)
+}
+
+func TestSamplingOffIsZero(t *testing.T) {
+	r := newTestRecorder(Config{})
+	for i := 0; i < 100; i++ {
+		if ctx := r.StartTrace(); ctx.Live() {
+			t.Fatalf("sampling off produced live context %+v", ctx)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = r.StartTrace()
+	})
+	if allocs != 0 {
+		t.Fatalf("StartTrace with sampling off allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	r := newTestRecorder(Config{SampleRate: 1})
+	ctx := r.StartTrace()
+	if !ctx.Live() {
+		t.Fatal("rate 1 did not sample")
+	}
+	r.SetSampling(0.5)
+	live := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if r.StartTrace().Live() {
+			live++
+		}
+	}
+	if live < n/3 || live > 2*n/3 {
+		t.Fatalf("rate 0.5 sampled %d/%d", live, n)
+	}
+}
+
+func TestForceTraceAlwaysLive(t *testing.T) {
+	r := newTestRecorder(Config{})
+	if !r.ForceTrace().Live() {
+		t.Fatal("ForceTrace returned dead context")
+	}
+}
+
+func TestRecordRetrieveSorted(t *testing.T) {
+	r := newTestRecorder(Config{Rings: 4, RingCap: 16})
+	const tid = 7
+	r.Record(Span{Trace: tid, ID: 2, Name: "b", Node: 1, Start: 20})
+	r.Record(Span{Trace: tid, ID: 1, Name: "a", Node: -1, Start: 10})
+	r.Record(Span{Trace: 99, ID: 3, Name: "other", Node: 0, Start: 5})
+	got := r.TraceSpans(tid)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("TraceSpans = %+v", got)
+	}
+	if len(r.Recent(10)) != 3 {
+		t.Fatalf("Recent = %+v", r.Recent(10))
+	}
+}
+
+func TestRingEvictionAndPinning(t *testing.T) {
+	r := newTestRecorder(Config{Rings: 1, RingCap: 8})
+	const victim = 5
+	r.Record(Span{Trace: victim, ID: 100, Name: "keep", Start: 1})
+	r.Pin(victim)
+	// Flood the ring so the victim's span is overwritten.
+	for i := 0; i < 64; i++ {
+		r.Record(Span{Trace: 1, ID: uint64(200 + i), Name: "noise", Start: time.Duration(i)})
+	}
+	var inRing []Span
+	inRing = r.rings[0].snapshot(inRing, victim)
+	if len(inRing) != 0 {
+		t.Fatalf("victim span still in ring: %+v", inRing)
+	}
+	got := r.TraceSpans(victim)
+	if len(got) != 1 || got[0].Name != "keep" {
+		t.Fatalf("pinned span lost: %+v", got)
+	}
+	// Spans recorded after pinning are retained too.
+	r.Record(Span{Trace: victim, ID: 101, Name: "late", Start: 2})
+	for i := 0; i < 64; i++ {
+		r.Record(Span{Trace: 1, ID: uint64(400 + i), Name: "noise", Start: time.Duration(i)})
+	}
+	if got := r.TraceSpans(victim); len(got) != 2 {
+		t.Fatalf("post-pin span lost: %+v", got)
+	}
+	if ids := r.Pinned(); len(ids) != 1 || ids[0] != victim {
+		t.Fatalf("Pinned = %v", ids)
+	}
+}
+
+func TestPinnedCap(t *testing.T) {
+	r := newTestRecorder(Config{PinnedCap: 2})
+	r.Pin(1)
+	r.Pin(2)
+	r.Pin(3)
+	if n := len(r.Pinned()); n != 2 {
+		t.Fatalf("pinned %d traces, cap 2", n)
+	}
+	if r.pinDrops.Load() != 1 {
+		t.Fatalf("pinDrops = %d", r.pinDrops.Load())
+	}
+}
+
+func TestDrainImport(t *testing.T) {
+	src := newTestRecorder(Config{})
+	src.Record(Span{Trace: 9, ID: 1, Name: "client.read", Node: -1})
+	src.Record(Span{Trace: 9, ID: 2, Name: "driver.read", Node: -1})
+	drained := src.Drain()
+	if len(drained) != 2 {
+		t.Fatalf("Drain = %+v", drained)
+	}
+	if got := src.TraceSpans(9); len(got) != 0 {
+		t.Fatalf("spans survived Drain: %+v", got)
+	}
+	dst := newTestRecorder(Config{})
+	dst.Import(drained)
+	if got := dst.TraceSpans(9); len(got) != 2 {
+		t.Fatalf("Import lost spans: %+v", got)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := newTestRecorder(Config{SampleRate: 1})
+	r.Register(reg)
+	r.StartTrace()
+	r.Record(Span{Trace: 3, ID: 1, Name: "x"})
+	snap := reg.Snapshot()
+	if v := snap.GaugeValue("trace.spans_recorded"); v != 1 {
+		t.Fatalf("spans_recorded = %d", v)
+	}
+	if v := snap.GaugeValue("trace.traces_started"); v != 1 {
+		t.Fatalf("traces_started = %d", v)
+	}
+}
+
+func TestOpRegistry(t *testing.T) {
+	g := NewOpRegistry()
+	id1 := g.Register("find", "users", 0, 7, 100)
+	id2 := g.Register("get", "users", 1, 0, 200)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	snap := g.Snapshot(1100)
+	if len(snap) != 2 || snap[0].ID != id1 || snap[0].RunningNS != 1000 || snap[1].RunningNS != 900 {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+	if snap[0].Trace != 7 {
+		t.Fatalf("trace id lost: %+v", snap[0])
+	}
+	g.Done(id1)
+	g.Done(id2)
+	if g.Len() != 0 {
+		t.Fatalf("Len after Done = %d", g.Len())
+	}
+}
+
+// TestRingStress hammers the recorder with concurrent record, export,
+// pin, and drain traffic; run under -race it is the satellite's span
+// ring stress test.
+func TestRingStress(t *testing.T) {
+	r := newTestRecorder(Config{Rings: 4, RingCap: 64, SampleRate: 1})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx := r.StartTrace()
+				r.Record(Span{Trace: ctx.TraceID, ID: r.NewSpanID(), Name: "stress", Node: w - 1, Start: time.Duration(i)})
+				if i%17 == 0 {
+					r.Pin(ctx.TraceID)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch w {
+				case 0:
+					_ = r.Recent(32)
+				case 1:
+					_ = r.TraceSpans(uint64(i))
+				case 2:
+					if i%50 == 0 {
+						r.Import(r.Drain())
+					} else {
+						_ = r.Pinned()
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

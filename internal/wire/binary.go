@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"decongestant/internal/obs"
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/storage"
 )
 
@@ -39,6 +40,9 @@ const (
 	rqAfterInc   = 12 // uvarint
 	rqSource     = 13 // string
 	rqSnapshot   = 14 // uvarint length + JSON bytes
+	rqTrace      = 15 // see appendTraceContext
+	rqBound      = 16 // varint audited staleness bound, seconds
+	rqSpans      = 17 // uvarint length + JSON bytes (trace_push payload)
 )
 
 // Response field tags.
@@ -55,6 +59,8 @@ const (
 	rsOpInc   = 10 // uvarint
 	rsMetrics = 11 // uvarint length + JSON bytes
 	rsCode    = 12 // varint error code (classifies rsErr)
+	rsSpans   = 13 // uvarint length + JSON bytes (trace op result)
+	rsOps     = 14 // uvarint length + JSON bytes (current_op result)
 )
 
 // opCodes maps op names to single-byte codes for the binary codec;
@@ -72,6 +78,9 @@ var opCodes = map[string]byte{
 	OpWriteBatch:  8,
 	OpMetrics:     9,
 	OpMetricsPush: 10,
+	OpTrace:       11,
+	OpCurrentOp:   12,
+	OpTracePush:   13,
 }
 
 var opNames = func() map[byte]string {
@@ -139,6 +148,88 @@ func getBytes(b []byte) ([]byte, []byte, error) {
 		return nil, nil, errBadFrame
 	}
 	return b[:n], b[n:], nil
+}
+
+// maxRouteString bounds the route snapshot's pref/reason strings; both
+// come from small enum-like sets, so anything longer is corruption.
+const maxRouteString = 64
+
+// appendTraceContext encodes the compact trace context: trace id, span
+// id, then a route-presence byte optionally followed by the balancer
+// decision snapshot. A request with no sampled context writes nothing
+// at all (the tag is skipped), so tracing-off costs zero wire bytes.
+func appendTraceContext(dst []byte, c *trace.Context) []byte {
+	dst = binary.AppendUvarint(dst, c.TraceID)
+	dst = binary.AppendUvarint(dst, c.SpanID)
+	if c.Route == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = appendString(dst, c.Route.Pref)
+	dst = appendString(dst, c.Route.Reason)
+	dst = binary.AppendVarint(dst, int64(c.Route.FracPct))
+	dst = binary.AppendVarint(dst, c.Route.StaleSecs)
+	if c.Route.Gated {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// decodeTraceContext is the inverse of appendTraceContext. Corrupt
+// contexts (zero trace id, bad flag bytes, oversized route strings)
+// are frame errors; nothing here allocates proportionally to attacker-
+// controlled counts.
+func decodeTraceContext(b []byte) (*trace.Context, []byte, error) {
+	tid, b, err := getUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tid == 0 {
+		return nil, nil, fmt.Errorf("%w: zero trace id", errBadFrame)
+	}
+	sid, b, err := getUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	flag, b, err := getByte(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &trace.Context{TraceID: tid, SpanID: sid}
+	switch flag {
+	case 0:
+		return c, b, nil
+	case 1:
+	default:
+		return nil, nil, fmt.Errorf("%w: trace route flag %d", errBadFrame, flag)
+	}
+	rt := &trace.Route{}
+	if rt.Pref, b, err = getString(b); err != nil || len(rt.Pref) > maxRouteString {
+		return nil, nil, errBadFrame
+	}
+	if rt.Reason, b, err = getString(b); err != nil || len(rt.Reason) > maxRouteString {
+		return nil, nil, errBadFrame
+	}
+	var v int64
+	if v, b, err = getVarint(b); err != nil {
+		return nil, nil, err
+	}
+	rt.FracPct = int(v)
+	if rt.StaleSecs, b, err = getVarint(b); err != nil {
+		return nil, nil, err
+	}
+	if flag, b, err = getByte(b); err != nil {
+		return nil, nil, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		rt.Gated = true
+	default:
+		return nil, nil, fmt.Errorf("%w: trace gated flag %d", errBadFrame, flag)
+	}
+	c.Route = rt
+	return c, b, nil
 }
 
 // encodeRequest appends r's binary body to dst.
@@ -219,6 +310,23 @@ func encodeRequest(dst []byte, r *Request) ([]byte, error) {
 			return nil, fmt.Errorf("wire: marshal snapshot: %w", err)
 		}
 		dst = binary.AppendUvarint(dst, rqSnapshot)
+		dst = binary.AppendUvarint(dst, uint64(len(body)))
+		dst = append(dst, body...)
+	}
+	if r.Trace != nil && r.Trace.TraceID != 0 {
+		dst = binary.AppendUvarint(dst, rqTrace)
+		dst = appendTraceContext(dst, r.Trace)
+	}
+	if r.BoundSecs != 0 {
+		dst = binary.AppendUvarint(dst, rqBound)
+		dst = binary.AppendVarint(dst, r.BoundSecs)
+	}
+	if len(r.Spans) > 0 {
+		body, err := json.Marshal(r.Spans)
+		if err != nil {
+			return nil, fmt.Errorf("wire: marshal spans: %w", err)
+		}
+		dst = binary.AppendUvarint(dst, rqSpans)
 		dst = binary.AppendUvarint(dst, uint64(len(body)))
 		dst = append(dst, body...)
 	}
@@ -317,6 +425,20 @@ func decodeRequest(b []byte, r *Request) error {
 				return fmt.Errorf("wire: unmarshal snapshot: %w", err)
 			}
 			r.Snapshot = snap
+		case rqTrace:
+			r.Trace, b, err = decodeTraceContext(b)
+		case rqBound:
+			r.BoundSecs, b, err = getVarint(b)
+		case rqSpans:
+			var body []byte
+			if body, b, err = getBytes(b); err != nil {
+				return err
+			}
+			var spans []trace.Span
+			if err = json.Unmarshal(body, &spans); err != nil {
+				return fmt.Errorf("wire: unmarshal spans: %w", err)
+			}
+			r.Spans = spans
 		default:
 			return fmt.Errorf("%w: request tag %d", errBadFrame, tag)
 		}
@@ -569,6 +691,26 @@ func encodeResponse(dst []byte, r *Response) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(len(body)))
 		dst = append(dst, body...)
 	}
+	// Spans and Ops ride as JSON inside the binary field, like metrics
+	// snapshots: trace export is rare and explicitly a JSON surface.
+	if len(r.Spans) > 0 {
+		body, merr := json.Marshal(r.Spans)
+		if merr != nil {
+			return nil, fmt.Errorf("wire: marshal spans: %w", merr)
+		}
+		dst = binary.AppendUvarint(dst, rsSpans)
+		dst = binary.AppendUvarint(dst, uint64(len(body)))
+		dst = append(dst, body...)
+	}
+	if len(r.Ops) > 0 {
+		body, merr := json.Marshal(r.Ops)
+		if merr != nil {
+			return nil, fmt.Errorf("wire: marshal ops: %w", merr)
+		}
+		dst = binary.AppendUvarint(dst, rsOps)
+		dst = binary.AppendUvarint(dst, uint64(len(body)))
+		dst = append(dst, body...)
+	}
 	return dst, nil
 }
 
@@ -704,6 +846,26 @@ func decodeResponse(b []byte, r *Response) error {
 				return fmt.Errorf("wire: unmarshal metrics: %w", err)
 			}
 			r.Metrics = snap
+		case rsSpans:
+			var body []byte
+			if body, b, err = getBytes(b); err != nil {
+				return err
+			}
+			var spans []trace.Span
+			if err = json.Unmarshal(body, &spans); err != nil {
+				return fmt.Errorf("wire: unmarshal spans: %w", err)
+			}
+			r.Spans = spans
+		case rsOps:
+			var body []byte
+			if body, b, err = getBytes(b); err != nil {
+				return err
+			}
+			var ops []trace.OpInfo
+			if err = json.Unmarshal(body, &ops); err != nil {
+				return fmt.Errorf("wire: unmarshal ops: %w", err)
+			}
+			r.Ops = ops
 		default:
 			return fmt.Errorf("%w: response tag %d", errBadFrame, tag)
 		}

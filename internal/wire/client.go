@@ -3,7 +3,9 @@ package wire
 import (
 	"bufio"
 	"errors"
+	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"decongestant/internal/cluster"
 	"decongestant/internal/driver"
 	"decongestant/internal/obs"
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
@@ -33,6 +36,12 @@ type Client struct {
 	maxVer  byte
 	nextID  atomic.Uint64
 	topoTTL time.Duration
+
+	// tracer records client-side spans (the driver and exec hops run in
+	// this process; the server only sees the wire ops). Sampling starts
+	// off; SetTraceSampling arms it. PushTraces ships recorded spans to
+	// the server so trace exports show the whole tree.
+	tracer *trace.Recorder
 
 	mu     sync.Mutex
 	conn   *muxConn
@@ -173,8 +182,10 @@ func (mc *muxConn) broken() bool {
 // Statically assert Client satisfies the driver's connection
 // interfaces, including the causal-session capability.
 var (
-	_ driver.Conn       = (*Client)(nil)
-	_ driver.CausalConn = (*Client)(nil)
+	_ driver.Conn          = (*Client)(nil)
+	_ driver.CausalConn    = (*Client)(nil)
+	_ driver.TracedConn    = (*Client)(nil)
+	_ driver.TraceProvider = (*Client)(nil)
 )
 
 // Dial connects to a wire server and fetches the initial topology.
@@ -192,12 +203,24 @@ func DialJSON(addr string) (*Client, error) {
 }
 
 func dial(addr string, maxVer byte) (*Client, error) {
-	cl := &Client{addr: addr, maxVer: maxVer, topoTTL: 5 * time.Second}
+	cl := &Client{
+		addr: addr, maxVer: maxVer, topoTTL: 5 * time.Second,
+		tracer: trace.NewRecorder(rand.New(rand.NewSource(time.Now().UnixNano())), trace.Config{}),
+	}
 	if err := cl.refreshTopology(); err != nil {
 		return nil, err
 	}
 	return cl, nil
 }
+
+// Tracer exposes the client-side span recorder; driver.Client adopts
+// it via driver.TraceProvider so one recorder holds a process's spans.
+func (cl *Client) Tracer() *trace.Recorder { return cl.tracer }
+
+// SetTraceSampling sets the probabilistic sampling rate in [0,1] for
+// operations originated through this client. 0 (the default) turns
+// tracing off; its cost is then one atomic load per operation.
+func (cl *Client) SetTraceSampling(rate float64) { cl.tracer.SetSampling(rate) }
 
 // Version reports the negotiated protocol version of the live shared
 // connection, dialing one if needed.
@@ -391,6 +414,51 @@ func (cl *Client) PushMetrics(source string, snap obs.Snapshot) error {
 	return err
 }
 
+// FetchTrace retrieves every span the server holds for one trace id —
+// ring-resident spans plus pinned copies (freshness-bound violators
+// survive ring eviction).
+func (cl *Client) FetchTrace(id uint64) ([]trace.Span, error) {
+	resp, err := cl.roundTrip(&Request{Op: OpTrace, DocID: trace.IDString(id)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Spans, nil
+}
+
+// RecentSpans retrieves the server's most recent spans, newest first.
+// limit <= 0 takes the server default (256); the server caps it.
+func (cl *Client) RecentSpans(limit int) ([]trace.Span, error) {
+	resp, err := cl.roundTrip(&Request{Op: OpTrace, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Spans, nil
+}
+
+// CurrentOp retrieves the requests currently in dispatch server-side,
+// longest running first — MongoDB's currentOp. Empty unless the server
+// was configured with CurrentOp.
+func (cl *Client) CurrentOp() ([]trace.OpInfo, error) {
+	resp, err := cl.roundTrip(&Request{Op: OpCurrentOp})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Ops, nil
+}
+
+// PushTraces drains the client recorder's spans and ships them to the
+// server, which imports them into its own rings — after this, a trace
+// export shows the full driver → server → node tree. Call it the way
+// PushMetrics is called: periodically, or once after a workload.
+func (cl *Client) PushTraces() error {
+	spans := cl.tracer.Drain()
+	if len(spans) == 0 {
+		return nil
+	}
+	_, err := cl.roundTrip(&Request{Op: OpTracePush, Spans: spans})
+	return err
+}
+
 // ServerStatus implements driver.Conn.
 func (cl *Client) ServerStatus(p sim.Proc, nodeID int) cluster.Status {
 	resp, err := cl.roundTrip(&Request{Op: OpStatus, Node: nodeID})
@@ -409,7 +477,13 @@ func (cl *Client) ServerStatus(p sim.Proc, nodeID int) cluster.Status {
 
 // ExecRead implements driver.Conn: the body runs locally against a
 // remote view whose every method is one network round trip to the
-// chosen node.
+// chosen node. This path is deliberately untraced — the body is small
+// enough to inline, which keeps the view off the heap, and the
+// sampling-off hot path must cost zero extra allocations (the
+// bench-pr7 gate). Sampled reads arrive through ExecReadMeta: the
+// driver flips the coin per read, and direct callers who want traces
+// originate one with Tracer().StartTrace() or ForceTrace() and call
+// ExecReadMeta themselves.
 func (cl *Client) ExecRead(p sim.Proc, nodeID int, fn func(v cluster.ReadView) (any, error)) (any, error) {
 	view := &remoteReadView{cl: cl, node: nodeID}
 	res, err := fn(view)
@@ -423,25 +497,15 @@ func (cl *Client) ExecRead(p sim.Proc, nodeID int, fn func(v cluster.ReadView) (
 // trips to the primary; mutations are buffered and committed with one
 // write_batch request.
 func (cl *Client) ExecWrite(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, error) {
-	tx := &remoteWriteTxn{remoteReadView: remoteReadView{cl: cl, node: cl.PrimaryID()}}
-	res, err := fn(tx)
-	if err != nil {
-		return nil, err
-	}
-	if tx.err != nil {
-		return nil, tx.err
-	}
-	if len(tx.muts) > 0 {
-		if _, err := cl.roundTrip(&Request{Op: OpWriteBatch, Muts: tx.muts}); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	res, _, err := cl.ExecWriteTracked(p, fn)
+	return res, err
 }
 
 // ExecReadAfter implements driver.CausalConn: every op of the body
 // carries the afterClusterTime prerequisite; the returned OpTime is
-// the highest node-applied time observed across the body's ops.
+// the highest node-applied time observed across the body's ops. Like
+// ExecRead it is untraced and inlinable; traced causal reads go
+// through ExecReadMeta.
 func (cl *Client) ExecReadAfter(p sim.Proc, nodeID int, after oplog.OpTime, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
 	view := &remoteReadView{cl: cl, node: nodeID, after: after}
 	res, err := fn(view)
@@ -451,10 +515,69 @@ func (cl *Client) ExecReadAfter(p sim.Proc, nodeID int, after oplog.OpTime, fn f
 	return res, view.seen, view.err
 }
 
+// ExecReadMeta implements driver.TracedConn: the trace context and
+// declared staleness bound ride on every round trip of the body, and a
+// client.exec_read span wraps the body so the gap between it and the
+// server's admission span is attributable wire time. The span ids are
+// rewritten so server-side spans parent under the client hop.
+func (cl *Client) ExecReadMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta cluster.ReadMeta, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
+	view := &remoteReadView{cl: cl, node: nodeID, after: after, bound: meta.BoundSecs}
+	live := meta.Ctx.Live()
+	var spanID uint64
+	var start time.Duration
+	if live {
+		spanID = cl.tracer.NewSpanID()
+		tctx := meta.Ctx
+		tctx.SpanID = spanID
+		view.trace = &tctx
+		start = tnow(p)
+	}
+	res, err := fn(view)
+	if live {
+		cl.tracer.Record(trace.Span{
+			Trace:  meta.Ctx.TraceID,
+			ID:     spanID,
+			Parent: meta.Ctx.SpanID,
+			Name:   "client.exec_read",
+			Node:   -1,
+			Start:  start,
+			Dur:    tnow(p) - start,
+			Attrs:  []trace.Attr{{K: "node", V: strconv.Itoa(nodeID)}},
+		})
+	}
+	if err != nil {
+		return nil, oplog.Zero, err
+	}
+	return res, view.seen, view.err
+}
+
+// tnow reads the span clock: the proc's when the caller runs under an
+// environment, the process-epoch clock when it does not (benchmarks
+// and plain goroutines pass a nil proc).
+func tnow(p sim.Proc) time.Duration {
+	if p != nil {
+		return p.Now()
+	}
+	return trace.Now()
+}
+
 // ExecWriteTracked implements driver.CausalConn: the write batch's
-// commit OpTime comes back in the response.
+// commit OpTime comes back in the response. The client originates the
+// trace here; a sampled write's batch request carries the context so
+// the server's dispatch and primary-exec spans link into it.
 func (cl *Client) ExecWriteTracked(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, oplog.OpTime, error) {
+	tctx := cl.tracer.StartTrace()
 	tx := &remoteWriteTxn{remoteReadView: remoteReadView{cl: cl, node: cl.PrimaryID()}}
+	live := tctx.Live()
+	var spanID uint64
+	var start time.Duration
+	if live {
+		spanID = cl.tracer.NewSpanID()
+		child := tctx
+		child.SpanID = spanID
+		tx.trace = &child
+		start = tnow(p)
+	}
 	res, err := fn(tx)
 	if err != nil {
 		return nil, oplog.Zero, err
@@ -464,11 +587,23 @@ func (cl *Client) ExecWriteTracked(p sim.Proc, fn func(tx cluster.WriteTxn) (any
 	}
 	var commit oplog.OpTime
 	if len(tx.muts) > 0 {
-		resp, err := cl.roundTrip(&Request{Op: OpWriteBatch, Muts: tx.muts})
+		req := &Request{Op: OpWriteBatch, Muts: tx.muts, Trace: tx.trace}
+		resp, err := cl.roundTrip(req)
 		if err != nil {
 			return nil, oplog.Zero, err
 		}
 		commit = oplog.OpTime{Secs: resp.OpSecs, Inc: resp.OpInc}
+	}
+	if live {
+		cl.tracer.Record(trace.Span{
+			Trace: tctx.TraceID,
+			ID:    spanID,
+			Name:  "client.exec_write",
+			Node:  -1,
+			Start: start,
+			Dur:   tnow(p) - start,
+			Attrs: []trace.Attr{{K: "optime", V: commit.String()}},
+		})
 	}
 	return res, commit, nil
 }
@@ -484,6 +619,15 @@ type remoteReadView struct {
 	err   error
 	after oplog.OpTime
 	seen  oplog.OpTime
+
+	// trace rides on every request of the body (nil when untraced).
+	// It deliberately does NOT point into the view: a &view.field
+	// stored into a Request would make every view escape to the heap,
+	// costing the untraced fast path an allocation per read. bound is
+	// the declared staleness bound the server's freshness auditor
+	// checks secondary reads against.
+	trace *trace.Context
+	bound int64
 }
 
 // observe folds a response's node OpTime into the view's causal token.
@@ -494,9 +638,14 @@ func (v *remoteReadView) observe(resp *Response) {
 	}
 }
 
-// request builds the base request with the causal prerequisite.
+// request builds the base request with the causal prerequisite, the
+// trace context (only when live — an absent context is zero bytes on
+// the v2 wire) and the audited staleness bound.
 func (v *remoteReadView) request(op string) *Request {
-	return &Request{Op: op, Node: v.node, AfterSecs: v.after.Secs, AfterInc: v.after.Inc}
+	return &Request{
+		Op: op, Node: v.node, AfterSecs: v.after.Secs, AfterInc: v.after.Inc,
+		BoundSecs: v.bound, Trace: v.trace,
+	}
 }
 
 func (v *remoteReadView) fail(err error) {

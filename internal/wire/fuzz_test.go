@@ -3,6 +3,7 @@ package wire
 import (
 	"testing"
 
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/storage"
 )
 
@@ -31,10 +32,27 @@ func FuzzDecodeFrame(f *testing.F) {
 	if body, err := encodeResponse(nil, &resp); err == nil {
 		f.Add(body)
 	}
+	// A request carrying the v2 trace-context extension (tag 15), the
+	// audited bound (16) and a span payload (17), so mutation explores
+	// the tracing fields too.
+	traced := Request{ID: 10, Op: OpFindByID, Node: 1, Collection: "kv", DocID: "a", BoundSecs: 3}
+	traced.Trace = &trace.Context{TraceID: 7, SpanID: 8, Route: &trace.Route{
+		Pref: "secondary", Reason: "bal-frac", FracPct: 40, StaleSecs: 2, Gated: true,
+	}}
+	traced.Spans = []trace.Span{{Trace: 7, ID: 9, Name: "client.exec_read", Node: -1}}
+	if body, err := encodeRequest(nil, &traced); err == nil {
+		f.Add(body)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{rqIDs, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})  // huge count, no bytes
 	f.Add([]byte{rsDocs, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // huge doc count
 	f.Add([]byte{rqFilter, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add([]byte{rqTrace, 0x00, 0x06, 0x00})                  // zero trace id
+	f.Add([]byte{rqTrace, 0x05, 0x06, 0x02})                  // bad route flag
+	f.Add([]byte{rqTrace, 0x05, 0x06, 0x01, 0xFF, 0x01})      // oversized pref length
+	f.Add([]byte{rqSpans, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})      // huge span blob, no bytes
+	f.Add([]byte{rsSpans, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 'x'}) // huge response span blob
+	f.Add([]byte{rsOps, 0x02, '[', ']'})
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var rq Request

@@ -25,6 +25,7 @@ import (
 	"strconv"
 
 	"decongestant/internal/obs"
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/storage"
 )
 
@@ -47,6 +48,17 @@ const (
 	// whole deployment from one endpoint. Pushes are keyed by Source;
 	// repeat pushes replace the previous snapshot.
 	OpMetricsPush = "metrics_push"
+	// OpTrace exports retained spans: with DocID set to a hex trace id
+	// it returns that trace's span tree, otherwise the most recent
+	// spans (up to Limit).
+	OpTrace = "trace"
+	// OpCurrentOp returns the server's in-flight operations, MongoDB's
+	// currentOp (empty unless the server was configured to track them).
+	OpCurrentOp = "current_op"
+	// OpTracePush uploads client-side recorded spans (driver, router,
+	// balancer-decision hops) into the server's recorder, so one OpTrace
+	// query returns the whole causal tree.
+	OpTracePush = "trace_push"
 )
 
 // MaxFrame bounds a single protocol frame (16 MiB).
@@ -143,6 +155,16 @@ type Request struct {
 	// Source names the pusher for metrics_push; Snapshot is its payload.
 	Source   string        `json:"source,omitempty"`
 	Snapshot *obs.Snapshot `json:"snapshot,omitempty"`
+	// Trace is the operation's trace context, present only when the
+	// originating client sampled it — nil costs zero wire bytes on both
+	// codecs, keeping the untraced hot path untouched.
+	Trace *trace.Context `json:"trace,omitempty"`
+	// BoundSecs declares the freshness bound, in seconds, the client's
+	// session promised for this read; the serving side's freshness
+	// auditor checks the observed staleness against it (0 = none).
+	BoundSecs int64 `json:"bound_secs,omitempty"`
+	// Spans is the trace_push payload.
+	Spans []trace.Span `json:"spans,omitempty"`
 
 	// filter is the typed form of Filter. The client fills only this;
 	// the v2 codec encodes it directly (conditions travel as BSON-lite
@@ -213,6 +235,9 @@ type Response struct {
 	OpInc  uint32 `json:"op_inc,omitempty"`
 	// Metrics is the observability snapshot for the metrics op.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Spans answers the trace op; Ops answers current_op.
+	Spans []trace.Span   `json:"spans,omitempty"`
+	Ops   []trace.OpInfo `json:"ops,omitempty"`
 
 	// Typed document results, used by the v2 codec in both directions:
 	// the server fills rawDoc/rawDocs with cached BSON-lite encodings

@@ -13,6 +13,7 @@ import (
 
 	"decongestant/internal/cluster"
 	"decongestant/internal/obs"
+	"decongestant/internal/obs/trace"
 	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
@@ -50,8 +51,16 @@ type ServerConfig struct {
 	// shedding.
 	ShedInflight int
 	// SlowOpThreshold logs any request whose service time meets it,
-	// MongoDB's slowms. 0 disables the slow-op log.
+	// MongoDB's slowms. 0 disables the slow-op log. A slow op whose
+	// request was not sampled gets a retroactive trace id so its
+	// dispatch span lands in the recorder anyway (always-on-slow
+	// sampling), and the log line carries that id.
 	SlowOpThreshold time.Duration
+	// CurrentOp maintains a registry of requests currently in dispatch,
+	// exported by the current_op wire op — MongoDB's currentOp. Off by
+	// default: the registry costs a mutexed map insert/delete per
+	// request.
+	CurrentOp bool
 }
 
 // defaultMaxConns prices status.connections.available when no
@@ -78,6 +87,13 @@ func (c ServerConfig) connLimit() int {
 type Server struct {
 	env *sim.RealtimeEnv
 	rs  *cluster.ReplicaSet
+
+	// tracer is the replica set's span recorder; the server records
+	// admission and dispatch spans into it for sampled requests and
+	// serves the trace export ops from it. curOps tracks requests
+	// currently in dispatch when cfg.CurrentOp is set (nil otherwise).
+	tracer *trace.Recorder
+	curOps *trace.OpRegistry
 
 	// Per-opcode request counts and service latencies, registered in
 	// the cluster's registry so the metrics op reports them alongside
@@ -118,7 +134,8 @@ type Server struct {
 // wireOps enumerates the protocol's opcodes for instrument setup.
 var wireOps = []string{
 	OpTopology, OpPing, OpStatus, OpFindByID, OpFindMany, OpFind,
-	OpCount, OpWriteBatch, OpMetrics, OpMetricsPush, "other",
+	OpCount, OpWriteBatch, OpMetrics, OpMetricsPush,
+	OpTrace, OpCurrentOp, OpTracePush, "other",
 }
 
 // NewServer creates a server over the given replica set with the
@@ -142,6 +159,10 @@ func NewServerWith(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Log
 		conns:    map[net.Conn]struct{}{},
 		pushed:   map[string]obs.Snapshot{},
 		log:      logger,
+	}
+	s.tracer = rs.Tracer()
+	if cfg.CurrentOp {
+		s.curOps = trace.NewOpRegistry()
 	}
 	reg := rs.Metrics()
 	for _, op := range wireOps {
@@ -321,6 +342,13 @@ func (s *Server) handle(conn net.Conn) {
 			break
 		}
 		r := req
+		// A request carrying a trace context times its admission span
+		// from here: the gap to dispatch start is exactly the queue and
+		// shed stages it crossed. Unsampled requests skip the clock read.
+		var arrive time.Duration
+		if r.Trace != nil {
+			arrive = s.env.Now()
+		}
 		// Queue stage: when this connection's budget is spent, block
 		// here instead of reading further frames — unread requests
 		// back up into socket buffers and flow-control the client.
@@ -361,14 +389,64 @@ func (s *Server) handle(conn net.Conn) {
 			proc := s.env.Adhoc(procName)
 			count, lat := s.instruments(r.Op)
 			start := proc.Now()
-			resp := s.dispatch(proc, &r, binary)
+			var tctx trace.Context
+			if r.Trace != nil {
+				tctx = *r.Trace
+			}
+			var dispatchID uint64
+			if tctx.Live() {
+				s.tracer.Record(trace.Span{
+					Trace:  tctx.TraceID,
+					ID:     s.tracer.NewSpanID(),
+					Parent: tctx.SpanID,
+					Name:   "server.admission",
+					Node:   -1,
+					Start:  arrive,
+					Dur:    start - arrive,
+				})
+				dispatchID = s.tracer.NewSpanID()
+			}
+			var opID uint64
+			if s.curOps != nil {
+				opID = s.curOps.Register(r.Op, r.Collection, r.Node, tctx.TraceID, start)
+			}
+			// Node-level spans hang off the dispatch span, not the
+			// client's, so the tree reads admission → dispatch → exec.
+			child := tctx
+			child.SpanID = dispatchID
+			resp := s.dispatch(proc, &r, binary, child)
+			if s.curOps != nil {
+				s.curOps.Done(opID)
+			}
 			count.Inc(1)
 			dur := proc.Now() - start
 			lat.Observe(dur)
-			if t := s.cfg.SlowOpThreshold; t > 0 && dur >= t {
+			slow := s.cfg.SlowOpThreshold > 0 && dur >= s.cfg.SlowOpThreshold
+			if slow && !tctx.Live() {
+				// Always-on-slow sampling: the op ran untraced, so its
+				// sub-spans are gone, but a retroactive id makes the
+				// dispatch span below land in the recorder and gives
+				// the log line something to query.
+				tctx = s.tracer.ForceTrace()
+				dispatchID = s.tracer.NewSpanID()
+			}
+			if tctx.Live() {
+				s.tracer.Record(trace.Span{
+					Trace:  tctx.TraceID,
+					ID:     dispatchID,
+					Parent: tctx.SpanID,
+					Name:   "server.dispatch",
+					Node:   r.Node,
+					Start:  start,
+					Dur:    dur,
+					Attrs:  []trace.Attr{{K: "op", V: r.Op}, {K: "coll", V: r.Collection}},
+				})
+			}
+			if slow {
 				s.slowOps.Inc(1)
-				s.log.Printf("wire: slow op op=%s coll=%q node=%d id=%d dur=%s err=%q",
-					r.Op, r.Collection, r.Node, r.ID, dur, resp.Err)
+				s.log.Printf("wire: slow op op=%s coll=%q node=%d id=%d dur=%s err=%q trace=%s route=%s",
+					r.Op, r.Collection, r.Node, r.ID, dur, resp.Err,
+					trace.IDString(tctx.TraceID), routeString(r.Trace))
 			}
 			resp.ID = r.ID
 			responses <- resp
@@ -495,9 +573,34 @@ func (cw countingWriter) Write(p []byte) (int, error) {
 
 // execRead runs a read op, honoring an afterClusterTime prerequisite
 // when the request carries one, and returns the node's applied OpTime.
-func (s *Server) execRead(p sim.Proc, req *Request, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
+// The trace context and declared staleness bound travel into the
+// cluster layer, which records the node-exec span and audits observed
+// staleness on secondary-served reads.
+func (s *Server) execRead(p sim.Proc, req *Request, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
 	after := oplog.OpTime{Secs: req.AfterSecs, Inc: req.AfterInc}
-	return s.rs.ExecReadAfter(p, req.Node, after, fn)
+	return s.rs.ExecReadMeta(p, req.Node, after, cluster.ReadMeta{Ctx: tctx, BoundSecs: req.BoundSecs}, fn)
+}
+
+// routeString renders the balancer decision snapshot a request's trace
+// context carried, for the slow-op log. "-" means the request rode
+// without one — either sampling was off (the context costs zero bytes
+// then, so no snapshot travels) or the read was not balancer-routed.
+func routeString(c *trace.Context) string {
+	if c == nil || c.Route == nil {
+		return "-"
+	}
+	r := c.Route
+	return fmt.Sprintf("pref=%s reason=%s frac=%d stale=%d gated=%t",
+		r.Pref, r.Reason, r.FracPct, r.StaleSecs, r.Gated)
+}
+
+// CurrentOps snapshots the requests currently in dispatch, longest
+// running first. Nil when ServerConfig.CurrentOp is off.
+func (s *Server) CurrentOps() []trace.OpInfo {
+	if s.curOps == nil {
+		return nil
+	}
+	return s.curOps.Snapshot(s.env.Now())
 }
 
 // dispatch executes one request. On binary connections read results
@@ -505,7 +608,7 @@ func (s *Server) execRead(p sim.Proc, req *Request, fn func(v cluster.ReadView) 
 // it, so responses carry each document's cached BSON-lite encoding
 // (rawDoc/rawDocs) and the write loop splices bytes instead of
 // re-serializing; JSON connections get the map forms as before.
-func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
+func (s *Server) dispatch(p sim.Proc, req *Request, binary bool, tctx trace.Context) *Response {
 	resp := &Response{}
 	fail := func(err error) *Response {
 		resp.Err = err.Error()
@@ -513,7 +616,8 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
 	}
 	if req.Node < 0 || req.Node >= len(s.rs.NodeIDs()) {
 		switch req.Op {
-		case OpTopology, OpWriteBatch, OpMetrics, OpMetricsPush:
+		case OpTopology, OpWriteBatch, OpMetrics, OpMetricsPush,
+			OpTrace, OpCurrentOp, OpTracePush:
 			// Not addressed to a node.
 		default:
 			return fail(fmt.Errorf("wire: bad node %d", req.Node))
@@ -540,7 +644,7 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
 		}
 		resp.Status = body
 	case OpFindByID:
-		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+		res, ts, err := s.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
 			if binary {
 				if ev, ok := v.(cluster.EncodedReadView); ok {
 					if e, found := ev.FindByIDEncoded(req.Collection, req.DocID); found {
@@ -570,7 +674,7 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
 			}
 		}
 	case OpFindMany:
-		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+		res, ts, err := s.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
 			if binary {
 				if ev, ok := v.(cluster.EncodedReadView); ok {
 					return ev.FindManyByIDEncoded(req.Collection, req.IDs), nil
@@ -588,7 +692,7 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
 		if err != nil {
 			return fail(err)
 		}
-		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+		res, ts, err := s.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
 			if binary {
 				if ev, ok := v.(cluster.EncodedReadView); ok {
 					return ev.FindEncoded(req.Collection, filter, req.Limit), nil
@@ -606,7 +710,7 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
 		if err != nil {
 			return fail(err)
 		}
-		res, ts, err := s.execRead(p, req, func(v cluster.ReadView) (any, error) {
+		res, ts, err := s.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
 			return v.Count(req.Collection, filter), nil
 		})
 		if err != nil {
@@ -615,7 +719,7 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
 		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
 		resp.Count = res.(int)
 	case OpWriteBatch:
-		_, commitTS, err := s.rs.ExecWriteTracked(p, func(tx cluster.WriteTxn) (any, error) {
+		_, commitTS, err := s.rs.ExecWriteConcernMeta(p, cluster.W1, cluster.ReadMeta{Ctx: tctx}, func(tx cluster.WriteTxn) (any, error) {
 			for i := range req.Muts {
 				m := &req.Muts[i]
 				doc, derr := m.document()
@@ -655,6 +759,31 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool) *Response {
 		s.mu.Unlock()
 		merged := snap.Merge(others...)
 		resp.Metrics = &merged
+	case OpTrace:
+		// Export spans from the recorder: a hex trace id in DocID
+		// selects one trace (ring spans plus any pinned copies); no id
+		// returns the most recent spans across all rings, newest first,
+		// capped so one export frame cannot balloon.
+		if req.DocID != "" {
+			id, err := trace.ParseID(req.DocID)
+			if err != nil {
+				return fail(fmt.Errorf("wire: bad trace id %q", req.DocID))
+			}
+			resp.Spans = s.tracer.TraceSpans(id)
+		} else {
+			limit := req.Limit
+			if limit <= 0 || limit > 1024 {
+				limit = 256
+			}
+			resp.Spans = s.tracer.Recent(limit)
+		}
+	case OpCurrentOp:
+		resp.Ops = s.CurrentOps()
+	case OpTracePush:
+		// Clients fold their locally recorded spans (driver/session
+		// hops run client-side) into the server's recorder so a trace
+		// export shows the whole causal tree.
+		s.tracer.Import(req.Spans)
 	case OpMetricsPush:
 		if req.Snapshot == nil {
 			return fail(fmt.Errorf("wire: metrics_push without a snapshot"))
