@@ -8,7 +8,7 @@ COUNT ?= 3
 # (report-only) because 1x iterations are throughput noise.
 BENCHGATE_MIN ?= 0.97
 
-.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6 bench-pr7
+.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8
 
 all: build test
 
@@ -88,3 +88,16 @@ bench-pr7:
 	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr7.txt < bench/current_pr7.txt > BENCH_PR7.json
 	$(GO) run ./cmd/benchgate -file BENCH_PR7.json -min-ratio $(BENCHGATE_MIN)
 	@cat BENCH_PR7.json
+
+# bench-pr8 runs the PR 8 sharded-tier benchmarks: zero-alloc shard-key
+# hashing (gated against bench/baseline_pr8.txt, captured with
+# SCATTER_SEQ=1 i.e. pre-parallel-scatter), plus two scale gates
+# computed within the current run — 4-shard point-read throughput
+# through mongosd must be >= 3x the 1-shard deployment, and parallel
+# scatter-gather must be >= 2.5x sequential.
+bench-pr8:
+	$(GO) test ./internal/sharding -run '^$$' -bench 'BenchmarkShardFor|BenchmarkScatterFind|BenchmarkMongosPointReads' -benchtime $(BENCHTIME) -count $(COUNT) -benchmem > bench/current_pr8.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr8.txt < bench/current_pr8.txt > BENCH_PR8.json
+	$(GO) run ./cmd/benchgate -file BENCH_PR8.json -min-ratio $(BENCHGATE_MIN) -benches BenchmarkShardFor \
+		-scale 'BenchmarkMongosPointReads4/BenchmarkMongosPointReads1>=3.0,BenchmarkScatterFindParallel/BenchmarkScatterFindSequential>=2.5'
+	@cat BENCH_PR8.json

@@ -1,15 +1,23 @@
-// Command benchgate enforces the PR 7 tracing-overhead budget from a
-// benchjson comparison file. It reads the JSON produced by
-// cmd/benchjson (current + baseline metric means per benchmark) and
-// fails when the named sampling-off benchmarks regress: throughput
-// (rt/s) below -min-ratio of the pre-tracing baseline, or more
-// allocs/op than the baseline (tracing off must add zero allocations
-// on the hot path).
+// Command benchgate enforces throughput budgets from a benchjson
+// comparison file. It reads the JSON produced by cmd/benchjson
+// (current + baseline metric means per benchmark) and applies two
+// kinds of gates:
 //
-// -min-ratio 0 switches to report-only mode: ratios are printed but
-// nothing fails. CI smoke runs (-benchtime 1x) use this, since
-// single-iteration throughput is noise; the deterministic half of the
-// alloc gate still runs there as TestEncodeRequestSamplingOffZeroAllocs.
+//   - -benches (vs baseline): the named benchmarks fail when current
+//     throughput (rt/s) drops below -min-ratio of the recorded
+//     baseline, or when they allocate more per op than the baseline.
+//     This is the PR 7 tracing-overhead budget.
+//
+//   - -scale (within current): "A/B>=R" pairs fail when benchmark A's
+//     current rt/s is less than R times benchmark B's. This is the
+//     PR 8 sharding-scale budget (4-shard mongos throughput vs
+//     1-shard, parallel scatter vs sequential), where the claim is a
+//     ratio between two fresh runs rather than a regression bound.
+//
+// -min-ratio 0 switches to report-only mode for both gates: ratios
+// are printed but nothing fails. CI smoke runs (-benchtime 1x) use
+// this, since single-iteration throughput is noise; the deterministic
+// halves of the alloc gates still run there as regular tests.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -36,7 +45,9 @@ func main() {
 	minRatio := flag.Float64("min-ratio", 0.97,
 		"minimum current/baseline rt/s ratio for the gated benchmarks (0 = report only)")
 	benches := flag.String("benches", "BenchmarkWireConcurrentPointReads,BenchmarkWireFindQuery",
-		"comma-separated benchmarks to gate (the sampling-off hot paths)")
+		"comma-separated benchmarks to gate against the baseline (empty disables)")
+	scale := flag.String("scale", "",
+		"comma-separated A/B>=R pairs gated within the current section (e.g. BenchmarkFast/BenchmarkSlow>=2.5)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*file)
@@ -49,7 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
-	if d.Baseline == nil {
+	if d.Baseline == nil && *benches != "" {
 		fmt.Fprintln(os.Stderr, "benchgate: no baseline section in", *file)
 		os.Exit(1)
 	}
@@ -57,6 +68,9 @@ func main() {
 	failed := false
 	for _, name := range strings.Split(*benches, ",") {
 		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
 		cur, base := d.Current[name], d.Baseline[name]
 		if cur == nil || base == nil {
 			fmt.Fprintf(os.Stderr, "benchgate: %s missing from current or baseline\n", name)
@@ -86,8 +100,49 @@ func main() {
 		fmt.Printf("benchgate: %-36s rt/s %9.0f vs %9.0f (x%.3f)  allocs/op %3.0f vs %3.0f  %s\n",
 			name, cur.Metrics["rt/s"], base.Metrics["rt/s"], ratio, curAllocs, baseAllocs, status)
 	}
+	for _, pair := range strings.Split(*scale, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		names, wantStr, ok := strings.Cut(pair, ">=")
+		num, den, ok2 := strings.Cut(names, "/")
+		if !ok || !ok2 {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -scale pair %q (want A/B>=R)\n", pair)
+			failed = true
+			continue
+		}
+		want, err := strconv.ParseFloat(strings.TrimSpace(wantStr), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: bad -scale ratio in %q: %v\n", pair, err)
+			failed = true
+			continue
+		}
+		num, den = strings.TrimSpace(num), strings.TrimSpace(den)
+		cn, cd := d.Current[num], d.Current[den]
+		if cn == nil || cd == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s or %s missing from current\n", num, den)
+			failed = true
+			continue
+		}
+		ratio := math.NaN()
+		if dv := cd.Metrics["rt/s"]; dv > 0 {
+			ratio = cn.Metrics["rt/s"] / dv
+		}
+		status := "ok"
+		if *minRatio > 0 {
+			if !(ratio >= want) {
+				status = fmt.Sprintf("FAIL scale (< %.2f)", want)
+				failed = true
+			}
+		} else {
+			status = "report-only"
+		}
+		fmt.Printf("benchgate: %-36s rt/s %9.0f vs %9.0f (x%.3f, want >= %.2f)  %s\n",
+			num+"/"+den, cn.Metrics["rt/s"], cd.Metrics["rt/s"], ratio, want, status)
+	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "benchgate: sampling-off overhead budget exceeded")
+		fmt.Fprintln(os.Stderr, "benchgate: benchmark budget exceeded")
 		os.Exit(1)
 	}
 }

@@ -121,6 +121,16 @@ type TraceProvider interface {
 	Tracer() *trace.Recorder
 }
 
+// OplogTailer is the optional change-feed capability: scan the
+// primary's oplog after an OpTime, returning decoded entries plus the
+// primary's lastApplied and the log's truncation horizon (see
+// cluster.ReplicaSet.OplogTail for the semantics). The in-process
+// cluster conn and the wire client both offer it; chunk migration
+// type-asserts for it to drain a source shard's writes.
+type OplogTailer interface {
+	OplogTail(p sim.Proc, after oplog.OpTime, max int) ([]oplog.DecodedEntry, oplog.OpTime, oplog.OpTime, error)
+}
+
 // Statically assert the in-process replica set satisfies Conn and the
 // trace capabilities.
 var (

@@ -1,0 +1,362 @@
+package sharding
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decongestant/internal/sim"
+)
+
+// Chunk is a half-open shard-key range [Min, Max) owned by one shard.
+// An empty Min means -inf, an empty Max means +inf; keys compare as
+// raw strings (the _id shard key).
+type Chunk struct {
+	Min   string
+	Max   string
+	Shard int
+}
+
+// Contains reports whether key falls inside the chunk's range.
+func (c Chunk) Contains(key string) bool {
+	return key >= c.Min && (c.Max == "" || key < c.Max)
+}
+
+func (c Chunk) String() string {
+	return fmt.Sprintf("[%q,%q)@%d", c.Min, c.Max, c.Shard)
+}
+
+// ChunkMap is an immutable routing table: chunks sorted by Min,
+// covering the full key space with no gaps (Chunks[0].Min == "",
+// Chunks[len-1].Max == ""). Mutations (split, move) produce a new map
+// with Version+1; routers cache a map and refresh it when a shard
+// rejects an op with a StaleChunkError.
+type ChunkMap struct {
+	Version uint64
+	Chunks  []Chunk
+}
+
+// NewChunkMap builds a version-1 table from sorted split points: keys
+// below splits[0] form the first chunk, and so on. Chunks are assigned
+// to the numShards shards round-robin. Duplicate or unsorted split
+// points are normalized.
+func NewChunkMap(splits []string, numShards int) *ChunkMap {
+	if numShards < 1 {
+		panic("sharding: need at least one shard")
+	}
+	ss := append([]string(nil), splits...)
+	sort.Strings(ss)
+	uniq := ss[:0]
+	for i, s := range ss {
+		if s == "" || (i > 0 && s == ss[i-1]) {
+			continue
+		}
+		uniq = append(uniq, s)
+	}
+	m := &ChunkMap{Version: 1}
+	lo := ""
+	for i, s := range uniq {
+		m.Chunks = append(m.Chunks, Chunk{Min: lo, Max: s, Shard: i % numShards})
+		lo = s
+	}
+	m.Chunks = append(m.Chunks, Chunk{Min: lo, Max: "", Shard: len(uniq) % numShards})
+	return m
+}
+
+// indexOf locates the chunk containing key in O(log chunks).
+func (m *ChunkMap) indexOf(key string) int {
+	// First i with Min > key; the owning chunk is the one before it.
+	i := sort.Search(len(m.Chunks), func(i int) bool { return m.Chunks[i].Min > key })
+	return i - 1
+}
+
+// At returns the chunk containing key.
+func (m *ChunkMap) At(key string) Chunk { return m.Chunks[m.indexOf(key)] }
+
+// Owner returns the shard owning key under this table version.
+func (m *ChunkMap) Owner(key string) int { return m.Chunks[m.indexOf(key)].Shard }
+
+// NumChunks returns the number of chunks.
+func (m *ChunkMap) NumChunks() int { return len(m.Chunks) }
+
+// split returns a copy with the chunk containing key split at key.
+// Ownership is unchanged, so cached routers stay correct; only the
+// version moves.
+func (m *ChunkMap) split(key string) (*ChunkMap, error) {
+	if key == "" {
+		return nil, fmt.Errorf("sharding: cannot split at -inf")
+	}
+	i := m.indexOf(key)
+	ck := m.Chunks[i]
+	if ck.Min == key {
+		return nil, fmt.Errorf("sharding: %s already splits at %q", ck, key)
+	}
+	out := &ChunkMap{Version: m.Version + 1, Chunks: make([]Chunk, 0, len(m.Chunks)+1)}
+	out.Chunks = append(out.Chunks, m.Chunks[:i]...)
+	out.Chunks = append(out.Chunks,
+		Chunk{Min: ck.Min, Max: key, Shard: ck.Shard},
+		Chunk{Min: key, Max: ck.Max, Shard: ck.Shard})
+	out.Chunks = append(out.Chunks, m.Chunks[i+1:]...)
+	return out, nil
+}
+
+// move returns a copy with the chunk starting at min reassigned to
+// shard `to`.
+func (m *ChunkMap) move(min string, to int) *ChunkMap {
+	out := &ChunkMap{Version: m.Version + 1, Chunks: append([]Chunk(nil), m.Chunks...)}
+	for i := range out.Chunks {
+		if out.Chunks[i].Min == min {
+			out.Chunks[i].Shard = to
+		}
+	}
+	return out
+}
+
+// StaleChunkError is returned when an op planned against a cached
+// routing table reaches a shard that no longer owns the key (the
+// chunk moved since the router cached its map). Routers refresh their
+// cache and retry; the retry count is bounded and surfaced through
+// the sharding.stale_chunk_retries counter.
+type StaleChunkError struct {
+	Key         string
+	PlannedShard int
+	OwnerShard  int
+	Version     uint64
+}
+
+func (e *StaleChunkError) Error() string {
+	return fmt.Sprintf("sharding: stale chunk version for key %q: planned shard %d, owner is %d (version %d)",
+		e.Key, e.PlannedShard, e.OwnerShard, e.Version)
+}
+
+// IsStaleChunk reports whether err is a stale-chunk-version rejection
+// (possibly carried across the wire as a string).
+func IsStaleChunk(err error) bool {
+	if err == nil {
+		return false
+	}
+	if _, ok := err.(*StaleChunkError); ok {
+		return true
+	}
+	return false
+}
+
+// inflightKey identifies a set of in-flight ops: the chunk range they
+// entered under and the shard they were routed to. Migration drains
+// wait only on entries overlapping the moving range on the relevant
+// shard, so traffic to other chunks never delays a hand-off.
+type inflightKey struct {
+	min   string
+	max   string
+	shard int
+	write bool
+}
+
+// ChunkAuthority is the config-server role: it owns the authoritative
+// routing table and coordinates splits and migrations against live
+// traffic. Every routed op calls Enter before touching a shard — the
+// authority validates the op's placement against the current table
+// (returning StaleChunkError on a miss), blocks writes targeting a
+// write-frozen chunk during a migration hand-off, and refcounts the op
+// so migration can drain in-flight work before deleting source data.
+//
+// Lock order: ChunkAuthority.mu is a leaf — nothing else is acquired
+// while holding it. The table itself is an atomic pointer so the read
+// path (Map/Owner) never takes the lock.
+type ChunkAuthority struct {
+	env  sim.Env
+	cur  atomic.Pointer[ChunkMap]
+	gate sim.Gate
+
+	mu        sync.Mutex
+	inflight  map[inflightKey]int
+	frozen    bool
+	frozenMin string
+	frozenMax string
+	migrating bool
+}
+
+// NewChunkAuthority builds an authority serving the given initial
+// table.
+func NewChunkAuthority(env sim.Env, m *ChunkMap) *ChunkAuthority {
+	a := &ChunkAuthority{env: env, gate: env.NewGate(), inflight: make(map[inflightKey]int)}
+	a.cur.Store(m)
+	return a
+}
+
+// Map returns the current authoritative table (lock-free).
+func (a *ChunkAuthority) Map() *ChunkMap { return a.cur.Load() }
+
+// Version returns the current table version.
+func (a *ChunkAuthority) Version() uint64 { return a.cur.Load().Version }
+
+// lease records one in-flight op admitted by Enter. Release it when
+// the op completes.
+type lease struct {
+	a *ChunkAuthority
+	k inflightKey
+}
+
+func (l lease) release() {
+	if l.a == nil {
+		return
+	}
+	l.a.mu.Lock()
+	if n := l.a.inflight[l.k] - 1; n > 0 {
+		l.a.inflight[l.k] = n
+	} else {
+		delete(l.a.inflight, l.k)
+	}
+	l.a.mu.Unlock()
+	l.a.gate.Broadcast()
+}
+
+// freezeWaitPoll bounds how long a blocked writer or draining migrator
+// sleeps between re-checks if a Broadcast is missed.
+const freezeWaitPoll = 2 * time.Millisecond
+
+// Enter validates an op routed to shard for key against the current
+// table and registers it in flight. If the shard no longer owns the
+// key it returns a *StaleChunkError (the caller refreshes its cached
+// map and retries). Writes targeting a write-frozen chunk block until
+// the freeze lifts, then revalidate — after a migration hand-off the
+// revalidation observes the new owner and fails stale, steering the
+// retried write to the destination shard.
+func (a *ChunkAuthority) Enter(p sim.Proc, key string, shard int, write bool) (lease, error) {
+	for {
+		m := a.cur.Load()
+		ck := m.At(key)
+		if ck.Shard != shard {
+			return lease{}, &StaleChunkError{Key: key, PlannedShard: shard, OwnerShard: ck.Shard, Version: m.Version}
+		}
+		a.mu.Lock()
+		if write && a.frozen && keyInRange(key, a.frozenMin, a.frozenMax) {
+			a.mu.Unlock()
+			a.gate.WaitTimeout(p, freezeWaitPoll)
+			continue
+		}
+		k := inflightKey{min: ck.Min, max: ck.Max, shard: shard, write: write}
+		a.inflight[k]++
+		a.mu.Unlock()
+		return lease{a: a, k: k}, nil
+	}
+}
+
+// Split splits the chunk containing key at key. Ownership is
+// unchanged, so no in-flight op is invalidated; cached routers keep
+// working and pick up the new version lazily.
+func (a *ChunkAuthority) Split(key string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.migrating {
+		return fmt.Errorf("sharding: cannot split during a migration")
+	}
+	next, err := a.cur.Load().split(key)
+	if err != nil {
+		return err
+	}
+	a.cur.Store(next)
+	return nil
+}
+
+// beginMigration claims the single migration slot and resolves the
+// chunk containing key under the current table. It fails if a
+// migration is already running or the chunk is already on `to`.
+func (a *ChunkAuthority) beginMigration(key string, to int) (Chunk, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.migrating {
+		return Chunk{}, fmt.Errorf("sharding: migration already in progress")
+	}
+	ck := a.cur.Load().At(key)
+	if ck.Shard == to {
+		return Chunk{}, fmt.Errorf("sharding: chunk %s already on shard %d", ck, to)
+	}
+	a.migrating = true
+	return ck, nil
+}
+
+// abortMigration releases the migration slot and any freeze.
+func (a *ChunkAuthority) abortMigration() {
+	a.mu.Lock()
+	a.migrating = false
+	a.frozen = false
+	a.mu.Unlock()
+	a.gate.Broadcast()
+}
+
+// freezeWrites blocks new writes to the chunk's range and waits for
+// writes already in flight against the source shard to drain. Reads
+// are never frozen — the source keeps a complete copy of the range
+// until after the hand-off.
+func (a *ChunkAuthority) freezeWrites(p sim.Proc, ck Chunk) {
+	a.mu.Lock()
+	a.frozen = true
+	a.frozenMin, a.frozenMax = ck.Min, ck.Max
+	a.mu.Unlock()
+	a.waitDrain(p, ck, ck.Shard, true)
+}
+
+// commitMove publishes the new table with the chunk reassigned to
+// shard `to`, lifts the write freeze, and wakes blocked writers (which
+// revalidate, fail stale, and get rerouted to the destination).
+func (a *ChunkAuthority) commitMove(ck Chunk, to int) *ChunkMap {
+	a.mu.Lock()
+	next := a.cur.Load().move(ck.Min, to)
+	a.cur.Store(next)
+	a.frozen = false
+	a.migrating = false
+	a.mu.Unlock()
+	a.gate.Broadcast()
+	return next
+}
+
+// drainReaders waits until no op admitted against the given shard
+// still overlaps the chunk's range. The migrator calls it after the
+// hand-off, before deleting the source copy, so reads planned against
+// the old table finish against intact data.
+func (a *ChunkAuthority) drainReaders(p sim.Proc, ck Chunk, shard int) {
+	a.waitDrain(p, ck, shard, false)
+}
+
+// waitDrain blocks until no in-flight entry on shard overlaps
+// [ck.Min, ck.Max). writesOnly restricts the wait to write entries.
+func (a *ChunkAuthority) waitDrain(p sim.Proc, ck Chunk, shard int, writesOnly bool) {
+	for {
+		a.mu.Lock()
+		busy := false
+		for k, n := range a.inflight {
+			if n <= 0 || k.shard != shard || (writesOnly && !k.write) {
+				continue
+			}
+			if rangesOverlap(k.min, k.max, ck.Min, ck.Max) {
+				busy = true
+				break
+			}
+		}
+		a.mu.Unlock()
+		if !busy {
+			return
+		}
+		a.gate.WaitTimeout(p, freezeWaitPoll)
+	}
+}
+
+// keyInRange reports whether key falls in the half-open range
+// [min, max) with "" meaning ±inf at the respective end.
+func keyInRange(key, min, max string) bool {
+	return key >= min && (max == "" || key < max)
+}
+
+// rangesOverlap reports whether [aMin,aMax) and [bMin,bMax) intersect.
+func rangesOverlap(aMin, aMax, bMin, bMax string) bool {
+	if aMax != "" && aMax <= bMin {
+		return false
+	}
+	if bMax != "" && bMax <= aMin {
+		return false
+	}
+	return true
+}

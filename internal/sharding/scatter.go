@@ -1,0 +1,329 @@
+package sharding
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/obs/trace"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// ShardOutcome is one shard's result of a scatter operation.
+type ShardOutcome struct {
+	Shard int
+	Docs  int // documents (or count) contributed
+	Err   error
+}
+
+// PartialError reports a scatter that could not reach every shard. It
+// carries the per-shard outcomes so callers can distinguish "shard 2
+// was down" from "everything failed". The merged results from the
+// shards that did answer are still returned alongside it.
+type PartialError struct {
+	Outcomes []ShardOutcome
+}
+
+// Failed returns the outcomes of the shards that errored.
+func (e *PartialError) Failed() []ShardOutcome {
+	var out []ShardOutcome
+	for _, o := range e.Outcomes {
+		if o.Err != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func (e *PartialError) Error() string {
+	failed := e.Failed()
+	parts := make([]string, 0, len(failed))
+	for _, o := range failed {
+		parts = append(parts, fmt.Sprintf("shard %d: %v", o.Shard, o.Err))
+	}
+	return fmt.Sprintf("sharding: scatter failed on %d/%d shards (%s)",
+		len(failed), len(e.Outcomes), strings.Join(parts, "; "))
+}
+
+// ScatterOptions tunes scatter-gather failure semantics.
+type ScatterOptions struct {
+	// AllowPartial accepts results from the shards that answered: a
+	// scatter succeeds (nil error) unless every shard failed. Without
+	// it any shard failure surfaces as a *PartialError, with the
+	// partial results still attached to the return value.
+	AllowPartial bool
+}
+
+// shardPart is one shard's contribution, produced inside the fan-out.
+type shardPart struct {
+	docs  []storage.Document
+	count int
+	err   error
+}
+
+// fanOut runs one task per shard — concurrently under the real-time
+// environment (each task on its own ad-hoc proc), sequentially under
+// the virtual environment or when SCATTER_SEQ=1 pins the old
+// behavior. It returns per-shard results indexed by shard.
+func (r *Router) fanOut(p sim.Proc, task func(p sim.Proc, shard int) shardPart) []shardPart {
+	parts := make([]shardPart, len(r.systems))
+	if r.renv == nil || r.seqScatter {
+		for i := range r.systems {
+			parts[i] = task(p, i)
+		}
+		return parts
+	}
+	var wg sync.WaitGroup
+	for i := range r.systems {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					if sim.ErrStopped(v) {
+						parts[shard] = shardPart{err: fmt.Errorf("sharding: environment stopped")}
+						return
+					}
+					panic(v)
+				}
+			}()
+			parts[shard] = task(r.renv.Adhoc("sharding/scatter"), shard)
+		}(i)
+	}
+	wg.Wait()
+	return parts
+}
+
+// scatter runs the per-shard read fn across all shards under a
+// mongos.scatter span (when tctx is sampled), recording one child
+// span per shard.
+func (r *Router) scatter(p sim.Proc, tctx trace.Context, name string, fn func(p sim.Proc, shard int) shardPart) []shardPart {
+	r.scatterTotal.Inc(1)
+	if !tctx.Live() {
+		return r.fanOut(p, fn)
+	}
+	parent := trace.Span{
+		Trace:  tctx.TraceID,
+		ID:     r.tracer.NewSpanID(),
+		Parent: tctx.SpanID,
+		Name:   "mongos.scatter",
+		Node:   -1,
+		Start:  r.env.Now(),
+		Attrs:  []trace.Attr{{K: "op", V: name}, {K: "shards", V: fmt.Sprint(len(r.systems))}},
+	}
+	parts := r.fanOut(p, func(p sim.Proc, shard int) shardPart {
+		start := r.env.Now()
+		part := fn(p, shard)
+		child := trace.Span{
+			Trace:  tctx.TraceID,
+			ID:     r.tracer.NewSpanID(),
+			Parent: parent.ID,
+			Name:   "mongos.shard_" + name,
+			Node:   -1,
+			Start:  start,
+			Dur:    r.env.Now() - start,
+			Attrs:  []trace.Attr{{K: "shard", V: fmt.Sprint(shard)}},
+		}
+		if part.err != nil {
+			child.Attrs = append(child.Attrs, trace.Attr{K: "err", V: part.err.Error()})
+		}
+		r.tracer.Record(child)
+		return part
+	})
+	parent.Dur = r.env.Now() - parent.Start
+	r.tracer.Record(parent)
+	return parts
+}
+
+// gather applies the partial-failure policy to per-shard outcomes:
+// any failure bumps sharding.scatter_partial; with AllowPartial the
+// scatter still succeeds unless every shard failed.
+func (r *Router) gather(parts []shardPart, opts ScatterOptions) *PartialError {
+	failed := 0
+	outcomes := make([]ShardOutcome, len(parts))
+	for i, part := range parts {
+		n := part.count
+		if n == 0 {
+			n = len(part.docs)
+		}
+		outcomes[i] = ShardOutcome{Shard: i, Docs: n, Err: part.err}
+		if part.err != nil {
+			failed++
+		}
+	}
+	if failed == 0 {
+		return nil
+	}
+	r.scatterPartial.Inc(1)
+	perr := &PartialError{Outcomes: outcomes}
+	if opts.AllowPartial && failed < len(parts) {
+		return nil
+	}
+	return perr
+}
+
+// ScatterFind fans a filtered query out to every shard (each through
+// its own Decongestant routing decision) and merges the results in
+// _id order, honoring the limit across the union. Under the real-time
+// environment the shards are queried concurrently; the limit is
+// pushed down so no shard returns more than the union needs.
+func (r *Router) ScatterFind(p sim.Proc, collection string, f storage.Filter, limit int) ([]storage.Document, error) {
+	return r.ScatterFindOpts(p, collection, f, limit, ScatterOptions{})
+}
+
+// ScatterFindOpts is ScatterFind with explicit failure semantics.
+func (r *Router) ScatterFindOpts(p sim.Proc, collection string, f storage.Filter, limit int, opts ScatterOptions) ([]storage.Document, error) {
+	return r.scatterFind(p, r.tracer.StartTrace(), collection, f, limit, opts)
+}
+
+func (r *Router) scatterFind(p sim.Proc, tctx trace.Context, collection string, f storage.Filter, limit int, opts ScatterOptions) ([]storage.Document, error) {
+	r.noteCollection(collection)
+	parts := r.scatter(p, tctx, "find", func(p sim.Proc, shard int) shardPart {
+		res, _, _, err := r.systems[shard].Router.Read(p, func(v cluster.ReadView) (any, error) {
+			return v.Find(collection, f, limit), nil
+		})
+		if err != nil {
+			return shardPart{err: err}
+		}
+		docs := res.([]storage.Document)
+		// Index-driven scans return index-key order; the k-way merge
+		// needs each run sorted by _id.
+		if !sorted(docs) {
+			sort.Slice(docs, func(i, j int) bool { return docs[i].ID() < docs[j].ID() })
+		}
+		return shardPart{docs: docs}
+	})
+	perr := r.gather(parts, opts)
+	runs := make([][]storage.Document, 0, len(parts))
+	for _, part := range parts {
+		if part.err == nil && len(part.docs) > 0 {
+			runs = append(runs, part.docs)
+		}
+	}
+	merged := mergeByID(runs, limit)
+	if perr != nil {
+		return merged, perr
+	}
+	return merged, nil
+}
+
+// ScatterCount fans a filtered count to every shard and sums.
+func (r *Router) ScatterCount(p sim.Proc, collection string, f storage.Filter) (int, error) {
+	return r.ScatterCountOpts(p, collection, f, ScatterOptions{})
+}
+
+// ScatterCountOpts is ScatterCount with explicit failure semantics.
+func (r *Router) ScatterCountOpts(p sim.Proc, collection string, f storage.Filter, opts ScatterOptions) (int, error) {
+	return r.scatterCount(p, r.tracer.StartTrace(), collection, f, opts)
+}
+
+func (r *Router) scatterCount(p sim.Proc, tctx trace.Context, collection string, f storage.Filter, opts ScatterOptions) (int, error) {
+	r.noteCollection(collection)
+	parts := r.scatter(p, tctx, "count", func(p sim.Proc, shard int) shardPart {
+		res, _, _, err := r.systems[shard].Router.Read(p, func(v cluster.ReadView) (any, error) {
+			return v.Count(collection, f), nil
+		})
+		if err != nil {
+			return shardPart{err: err}
+		}
+		return shardPart{count: res.(int)}
+	})
+	perr := r.gather(parts, opts)
+	total := 0
+	for _, part := range parts {
+		if part.err == nil {
+			total += part.count
+		}
+	}
+	if perr != nil {
+		return total, perr
+	}
+	return total, nil
+}
+
+func sorted(docs []storage.Document) bool {
+	for i := 1; i < len(docs); i++ {
+		if docs[i].ID() < docs[i-1].ID() {
+			return false
+		}
+	}
+	return true
+}
+
+// runHeap is a min-heap of sorted runs keyed by each run's head _id —
+// the streaming side of the k-way merge.
+type runHeap struct {
+	runs [][]storage.Document
+}
+
+func (h *runHeap) Len() int { return len(h.runs) }
+func (h *runHeap) Less(i, j int) bool {
+	return h.runs[i][0].ID() < h.runs[j][0].ID()
+}
+func (h *runHeap) Swap(i, j int)      { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *runHeap) Push(x any)         { h.runs = append(h.runs, x.([]storage.Document)) }
+func (h *runHeap) Pop() any           { n := len(h.runs); r := h.runs[n-1]; h.runs = h.runs[:n-1]; return r }
+
+// mergeByID streams the k sorted runs into one _id-ordered slice,
+// stopping at limit instead of materializing the full union. It
+// de-duplicates equal _ids across runs — during a chunk migration the
+// moving range transiently exists on both source and destination, and
+// the merge must not surface both copies.
+func mergeByID(runs [][]storage.Document, limit int) []storage.Document {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		out := runs[0]
+		if limit > 0 && len(out) > limit {
+			out = out[:limit]
+		}
+		return dedupSorted(out)
+	}
+	h := &runHeap{runs: runs}
+	heap.Init(h)
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	if limit > 0 && limit < total {
+		total = limit
+	}
+	out := make([]storage.Document, 0, total)
+	lastID := ""
+	for h.Len() > 0 && (limit <= 0 || len(out) < limit) {
+		run := h.runs[0]
+		d := run[0]
+		if id := d.ID(); len(out) == 0 || id != lastID {
+			out = append(out, d)
+			lastID = id
+		}
+		if len(run) > 1 {
+			h.runs[0] = run[1:]
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return out
+}
+
+// dedupSorted removes adjacent duplicate _ids from a sorted run.
+func dedupSorted(docs []storage.Document) []storage.Document {
+	for i := 1; i < len(docs); i++ {
+		if docs[i].ID() == docs[i-1].ID() {
+			out := append([]storage.Document(nil), docs[:i]...)
+			for _, d := range docs[i:] {
+				if d.ID() != out[len(out)-1].ID() {
+					out = append(out, d)
+				}
+			}
+			return out
+		}
+	}
+	return docs
+}

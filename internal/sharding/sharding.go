@@ -1,29 +1,32 @@
 // Package sharding implements MongoDB-style horizontal partitioning
-// over replica sets (§2.2): documents are hash-partitioned by _id
-// across shards, each shard is a full replica set, and a mongos-like
-// router fans operations out. The paper notes its techniques "can be
-// applied to sharded clusters, which support the same Read Preference
-// API" — Router demonstrates exactly that by running one independent
+// over replica sets (§2.2): documents are partitioned by _id across
+// shards, each shard is a full replica set, and a mongos-like router
+// fans operations out. The paper notes its techniques "can be applied
+// to sharded clusters, which support the same Read Preference API" —
+// Router demonstrates exactly that by running one independent
 // Decongestant (Read Balancer + Router) per shard.
+//
+// Two placement modes exist. The default hash mode assigns each _id
+// by FNV-1a hash — uniform, but immovable. Chunk mode (EnableChunks)
+// partitions the key space into contiguous ranges tracked by a
+// versioned ChunkMap; chunks can be split and live-migrated between
+// shards while traffic continues (see migrate.go).
 package sharding
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
-	"time"
 
 	"decongestant/internal/cluster"
-	"decongestant/internal/core"
-	"decongestant/internal/driver"
 	"decongestant/internal/sim"
 	"decongestant/internal/storage"
 )
 
 // Cluster is a sharded deployment: N shards, each a replica set.
 type Cluster struct {
-	env    sim.Env
-	shards []*cluster.ReplicaSet
+	env     sim.Env
+	shards  []*cluster.ReplicaSet
+	nShards uint32
+	auth    *ChunkAuthority
 }
 
 // New builds a sharded cluster of numShards replica sets, each with
@@ -32,7 +35,7 @@ func New(env sim.Env, numShards int, cfg cluster.Config) *Cluster {
 	if numShards < 1 {
 		panic("sharding: need at least one shard")
 	}
-	c := &Cluster{env: env}
+	c := &Cluster{env: env, nShards: uint32(numShards)}
 	for i := 0; i < numShards; i++ {
 		c.shards = append(c.shards, cluster.New(env, cfg))
 	}
@@ -45,16 +48,55 @@ func (c *Cluster) NumShards() int { return len(c.shards) }
 // Shard returns shard i's replica set.
 func (c *Cluster) Shard(i int) *cluster.ReplicaSet { return c.shards[i] }
 
-// ShardFor hash-partitions a document id onto a shard.
-func (c *Cluster) ShardFor(id string) int {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return int(h.Sum32() % uint32(len(c.shards)))
+// FNV-1a constants (hash/fnv's 32-bit parameters, inlined so the hot
+// routing path allocates nothing).
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// hashShard is the allocation-free FNV-1a placement shared by Cluster
+// and conn-backed routers. It is bit-identical to hash/fnv.New32a
+// followed by Sum32() % n, so documents placed by earlier versions
+// stay on the same shard.
+func hashShard(id string, n uint32) int {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * fnvPrime32
+	}
+	return int(h % n)
+}
+
+// ShardFor hash-partitions a document id onto a shard. It is the hash
+// mode's placement function and allocates nothing — it sits on the
+// routing fast path of every single-document op.
+func (c *Cluster) ShardFor(id string) int { return hashShard(id, c.nShards) }
+
+// EnableChunks switches the cluster from hash placement to chunk
+// routing: the key space is cut at the given split points and chunks
+// are assigned round-robin. Call it before NewRouter and before
+// loading data (Owner governs Bootstrap placement). It returns the
+// authority so tests and tools can drive splits and migrations.
+func (c *Cluster) EnableChunks(splits []string) *ChunkAuthority {
+	c.auth = NewChunkAuthority(c.env, NewChunkMap(splits, len(c.shards)))
+	return c.auth
+}
+
+// Authority returns the chunk authority, or nil in hash mode.
+func (c *Cluster) Authority() *ChunkAuthority { return c.auth }
+
+// Owner returns the shard that owns id under the current placement
+// mode — the chunk table when chunks are enabled, the hash otherwise.
+func (c *Cluster) Owner(id string) int {
+	if c.auth != nil {
+		return c.auth.Map().Owner(id)
+	}
+	return c.ShardFor(id)
 }
 
 // Bootstrap loads data: fn is invoked once per (shard, store) so
 // loaders can insert only the documents belonging to that shard (use
-// ShardFor). It runs against every node of every shard.
+// Owner). It runs against every node of every shard.
 func (c *Cluster) Bootstrap(fn func(shard int, s *storage.Store) error) error {
 	for i, rs := range c.shards {
 		i := i
@@ -63,107 +105,4 @@ func (c *Cluster) Bootstrap(fn func(shard int, s *storage.Store) error) error {
 		}
 	}
 	return nil
-}
-
-// Router is the mongos: it owns one complete Decongestant system per
-// shard and routes document operations by shard key. Each shard's
-// Read Balancer adapts to that shard's congestion independently.
-type Router struct {
-	cluster *Cluster
-	systems []*core.System
-}
-
-// NewRouter builds a router with an independent Decongestant per
-// shard (the Balancers' background processes start immediately).
-func NewRouter(env sim.Env, c *Cluster, params core.Params) *Router {
-	r := &Router{cluster: c}
-	for _, rs := range c.shards {
-		r.systems = append(r.systems, core.NewSystem(env, driver.WrapCluster(rs), params))
-	}
-	return r
-}
-
-// System returns shard i's Decongestant system (for inspection).
-func (r *Router) System(i int) *core.System { return r.systems[i] }
-
-// ReadByID routes a single-document read to the owning shard through
-// that shard's Decongestant Router.
-func (r *Router) ReadByID(p sim.Proc, collection, id string) (storage.Document, driver.ReadPref, time.Duration, error) {
-	shard := r.cluster.ShardFor(id)
-	res, pref, lat, err := r.systems[shard].Router.Read(p, func(v cluster.ReadView) (any, error) {
-		d, ok := v.FindByID(collection, id)
-		if !ok {
-			return nil, nil
-		}
-		return d, nil
-	})
-	if err != nil {
-		return nil, pref, lat, err
-	}
-	if res == nil {
-		return nil, pref, lat, nil
-	}
-	return res.(storage.Document), pref, lat, nil
-}
-
-// Upsert routes a single-document set to the owning shard's primary.
-func (r *Router) Upsert(p sim.Proc, collection, id string, fields storage.Document) (time.Duration, error) {
-	shard := r.cluster.ShardFor(id)
-	_, lat, err := r.systems[shard].Router.Write(p, func(tx cluster.WriteTxn) (any, error) {
-		return nil, tx.Set(collection, id, fields)
-	})
-	return lat, err
-}
-
-// Insert routes a single-document insert to the owning shard.
-func (r *Router) Insert(p sim.Proc, collection string, doc storage.Document) (time.Duration, error) {
-	id := doc.ID()
-	if id == "" {
-		return 0, fmt.Errorf("sharding: insert requires a string _id")
-	}
-	shard := r.cluster.ShardFor(id)
-	_, lat, err := r.systems[shard].Router.Write(p, func(tx cluster.WriteTxn) (any, error) {
-		return nil, tx.Insert(collection, doc)
-	})
-	return lat, err
-}
-
-// Delete routes a single-document delete to the owning shard.
-func (r *Router) Delete(p sim.Proc, collection, id string) (time.Duration, error) {
-	shard := r.cluster.ShardFor(id)
-	_, lat, err := r.systems[shard].Router.Write(p, func(tx cluster.WriteTxn) (any, error) {
-		return nil, tx.Delete(collection, id)
-	})
-	return lat, err
-}
-
-// ScatterFind fans a filtered query out to every shard (each through
-// its own Decongestant routing decision) and merges the results in
-// _id order, honoring the limit across the union.
-func (r *Router) ScatterFind(p sim.Proc, collection string, f storage.Filter, limit int) ([]storage.Document, error) {
-	var merged []storage.Document
-	for _, sys := range r.systems {
-		res, _, _, err := sys.Router.Read(p, func(v cluster.ReadView) (any, error) {
-			return v.Find(collection, f, limit), nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		merged = append(merged, res.([]storage.Document)...)
-	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].ID() < merged[j].ID() })
-	if limit > 0 && len(merged) > limit {
-		merged = merged[:limit]
-	}
-	return merged, nil
-}
-
-// Fractions returns each shard's current Balance Fraction in percent —
-// the per-shard adaptation the paper's §2.2 remark predicts.
-func (r *Router) Fractions() []int {
-	out := make([]int, len(r.systems))
-	for i, sys := range r.systems {
-		out[i] = sys.Balancer.FractionPct()
-	}
-	return out
 }

@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"fmt"
+
+	"decongestant/internal/cluster"
+	"decongestant/internal/obs"
+	"decongestant/internal/obs/trace"
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// rsBackend serves the replica-set side of the protocol: the op set a
+// shard server (replsetd) answers. It is the Backend NewServer wraps a
+// *cluster.ReplicaSet in.
+type rsBackend struct {
+	rs *cluster.ReplicaSet
+}
+
+func (b *rsBackend) Metrics() *obs.Registry  { return b.rs.Metrics() }
+func (b *rsBackend) Tracer() *trace.Recorder { return b.rs.Tracer() }
+
+// execRead runs a read op, honoring an afterClusterTime prerequisite
+// when the request carries one, and returns the node's applied OpTime.
+// The trace context and declared staleness bound travel into the
+// cluster layer, which records the node-exec span and audits observed
+// staleness on secondary-served reads.
+func (b *rsBackend) execRead(p sim.Proc, req *Request, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
+	after := oplog.OpTime{Secs: req.AfterSecs, Inc: req.AfterInc}
+	return b.rs.ExecReadMeta(p, req.Node, after, cluster.ReadMeta{Ctx: tctx, BoundSecs: req.BoundSecs}, fn)
+}
+
+// Dispatch implements Backend for a replica set.
+func (b *rsBackend) Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.Context) *Response {
+	resp := &Response{}
+	fail := func(err error) *Response {
+		resp.Err = err.Error()
+		return resp
+	}
+	if req.Node < 0 || req.Node >= len(b.rs.NodeIDs()) {
+		switch req.Op {
+		case OpTopology, OpWriteBatch, OpOplogTail:
+			// Not addressed to a node.
+		default:
+			return fail(fmt.Errorf("wire: bad node %d", req.Node))
+		}
+	}
+	switch req.Op {
+	case OpTopology:
+		topo := &Topology{Primary: b.rs.PrimaryID()}
+		for _, id := range b.rs.NodeIDs() {
+			topo.Zones = append(topo.Zones, b.rs.Zone(id))
+		}
+		resp.Topo = topo
+	case OpPing:
+		if b.rs.Ping(p, req.Node) < 0 {
+			return fail(cluster.ErrNodeDown)
+		}
+	case OpStatus:
+		st := b.rs.ServerStatus(p, req.Node)
+		body := &StatusBody{From: st.From, Primary: st.Primary}
+		for _, m := range st.Members {
+			body.Members = append(body.Members, Member{
+				ID: m.ID, Primary: m.Primary, Secs: m.Applied.Secs, Inc: m.Applied.Inc,
+			})
+		}
+		resp.Status = body
+	case OpFindByID:
+		res, ts, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
+			if binary {
+				if ev, ok := v.(cluster.EncodedReadView); ok {
+					if e, found := ev.FindByIDEncoded(req.Collection, req.DocID); found {
+						return e, nil
+					}
+					return nil, nil
+				}
+			}
+			d, ok := v.FindByID(req.Collection, req.DocID)
+			if !ok {
+				return nil, nil
+			}
+			return d, nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		switch d := res.(type) {
+		case *storage.EncodedDoc:
+			resp.Found = true
+			resp.rawDoc = d.Bytes()
+		case storage.Document:
+			if d != nil {
+				resp.Found = true
+				fillDoc(resp, binary, d)
+			}
+		}
+	case OpFindMany:
+		res, ts, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
+			if binary {
+				if ev, ok := v.(cluster.EncodedReadView); ok {
+					return ev.FindManyByIDEncoded(req.Collection, req.IDs), nil
+				}
+			}
+			return v.FindManyByID(req.Collection, req.IDs), nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		fillDocs(resp, binary, res)
+	case OpFind:
+		filter, err := req.filterValue()
+		if err != nil {
+			return fail(err)
+		}
+		res, ts, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
+			if binary {
+				if ev, ok := v.(cluster.EncodedReadView); ok {
+					return ev.FindEncoded(req.Collection, filter, req.Limit), nil
+				}
+			}
+			return v.Find(req.Collection, filter, req.Limit), nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		fillDocs(resp, binary, res)
+	case OpCount:
+		filter, err := req.filterValue()
+		if err != nil {
+			return fail(err)
+		}
+		res, ts, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
+			return v.Count(req.Collection, filter), nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		resp.Count = res.(int)
+	case OpWriteBatch:
+		_, commitTS, err := b.rs.ExecWriteConcernMeta(p, cluster.W1, cluster.ReadMeta{Ctx: tctx}, func(tx cluster.WriteTxn) (any, error) {
+			return nil, applyMutations(tx, req.Muts)
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.OpSecs, resp.OpInc = commitTS.Secs, commitTS.Inc
+	case OpOplogTail:
+		after := oplog.OpTime{Secs: req.AfterSecs, Inc: req.AfterInc}
+		max := req.Limit
+		if max <= 0 || max > 4096 {
+			max = 512
+		}
+		entries, applied, trunc, err := b.rs.OplogTail(p, after, max)
+		if err != nil {
+			return fail(err)
+		}
+		fillEntries(resp, entries)
+		resp.OpSecs, resp.OpInc = applied.Secs, applied.Inc
+		resp.TruncSecs, resp.TruncInc = trunc.Secs, trunc.Inc
+	default:
+		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+	return resp
+}
+
+// applyMutations replays a write batch into a transaction — shared by
+// the replica-set backend and a mongos's per-shard sub-batches.
+func applyMutations(tx cluster.WriteTxn, muts []Mutation) error {
+	for i := range muts {
+		m := &muts[i]
+		doc, err := m.document()
+		if err != nil {
+			return err
+		}
+		switch m.Kind {
+		case "insert":
+			if err := tx.Insert(m.Collection, doc); err != nil {
+				return err
+			}
+		case "set":
+			if err := tx.Set(m.Collection, m.DocID, doc); err != nil {
+				return err
+			}
+		case "delete":
+			if err := tx.Delete(m.Collection, m.DocID); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("wire: unknown mutation kind %q", m.Kind)
+		}
+	}
+	return nil
+}
+
+// fillEntries converts decoded oplog entries to their wire form.
+func fillEntries(resp *Response, entries []oplog.DecodedEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	out := make([]EntryBody, 0, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		out = append(out, EntryBody{
+			Secs: e.TS.Secs, Inc: e.TS.Inc, Kind: e.Kind.String(),
+			Collection: e.Collection, DocID: e.DocID, doc: e.Doc,
+		})
+	}
+	resp.Entries = out
+}
+
+// fillDoc routes a single-document result to the codec-appropriate
+// response field.
+func fillDoc(resp *Response, binary bool, d storage.Document) {
+	if binary {
+		resp.doc = d
+	} else {
+		resp.Doc = docToJSON(d)
+	}
+}
+
+// fillDocs routes a multi-document read result — encoded wrappers or
+// plain documents — to the codec-appropriate response fields.
+func fillDocs(resp *Response, binary bool, res any) {
+	switch ds := res.(type) {
+	case []*storage.EncodedDoc:
+		raw := make([][]byte, 0, len(ds))
+		for _, e := range ds {
+			raw = append(raw, e.Bytes())
+		}
+		resp.rawDocs = raw
+	case []storage.Document:
+		if binary {
+			resp.docs = ds
+			return
+		}
+		for _, d := range ds {
+			resp.Docs = append(resp.Docs, docToJSON(d))
+		}
+	}
+}

@@ -61,6 +61,11 @@ const (
 	rsCode    = 12 // varint error code (classifies rsErr)
 	rsSpans   = 13 // uvarint length + JSON bytes (trace op result)
 	rsOps     = 14 // uvarint length + JSON bytes (current_op result)
+	rsShards  = 15 // uvarint count + (varint id, string addr) rows
+	rsChunks  = 16 // uvarint version + uvarint count + chunk rows
+	rsEntries = 17 // uvarint count + oplog entry rows
+	rsTruncS  = 18 // varint oplog truncation horizon, seconds part
+	rsTruncI  = 19 // uvarint oplog truncation horizon, inc part
 )
 
 // opCodes maps op names to single-byte codes for the binary codec;
@@ -81,6 +86,10 @@ var opCodes = map[string]byte{
 	OpTrace:       11,
 	OpCurrentOp:   12,
 	OpTracePush:   13,
+	OpListShards:  14,
+	OpChunkMap:    15,
+	OpOplogTail:   16,
+	OpMoveChunk:   17,
 }
 
 var opNames = func() map[byte]string {
@@ -91,8 +100,11 @@ var opNames = func() map[byte]string {
 	return m
 }()
 
-// Mutation kind codes.
+// Mutation kind codes. Oplog entries reuse them plus "noop" (entries
+// ride replication, where heartbeats exist; mutations never carry one).
 var kindCodes = map[string]byte{"insert": 1, "set": 2, "delete": 3}
+
+const entryKindNoop = 4
 
 var kindNames = func() map[byte]string {
 	m := make(map[byte]string, len(kindCodes))
@@ -711,6 +723,58 @@ func encodeResponse(dst []byte, r *Response) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(len(body)))
 		dst = append(dst, body...)
 	}
+	if len(r.Shards) > 0 {
+		dst = binary.AppendUvarint(dst, rsShards)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Shards)))
+		for _, sh := range r.Shards {
+			dst = binary.AppendVarint(dst, int64(sh.ID))
+			dst = appendString(dst, sh.Addr)
+		}
+	}
+	if r.Chunks != nil {
+		dst = binary.AppendUvarint(dst, rsChunks)
+		dst = binary.AppendUvarint(dst, r.Chunks.Version)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Chunks.Chunks)))
+		for _, ck := range r.Chunks.Chunks {
+			dst = appendString(dst, ck.Min)
+			dst = appendString(dst, ck.Max)
+			dst = binary.AppendVarint(dst, int64(ck.Shard))
+		}
+	}
+	if len(r.Entries) > 0 {
+		dst = binary.AppendUvarint(dst, rsEntries)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Entries)))
+		for i := range r.Entries {
+			e := &r.Entries[i]
+			dst = binary.AppendVarint(dst, e.Secs)
+			dst = binary.AppendUvarint(dst, uint64(e.Inc))
+			if code, ok := kindCodes[e.Kind]; ok {
+				dst = append(dst, code)
+			} else {
+				dst = append(dst, entryKindNoop)
+			}
+			dst = appendString(dst, e.Collection)
+			dst = appendString(dst, e.DocID)
+			doc, derr := e.document()
+			if derr != nil {
+				return nil, derr
+			}
+			if doc == nil {
+				dst = append(dst, 0)
+			} else {
+				dst = append(dst, 1)
+				dst = storage.AppendDoc(dst, doc)
+			}
+		}
+	}
+	if r.TruncSecs != 0 {
+		dst = binary.AppendUvarint(dst, rsTruncS)
+		dst = binary.AppendVarint(dst, r.TruncSecs)
+	}
+	if r.TruncInc != 0 {
+		dst = binary.AppendUvarint(dst, rsTruncI)
+		dst = binary.AppendUvarint(dst, uint64(r.TruncInc))
+	}
 	return dst, nil
 }
 
@@ -866,6 +930,114 @@ func decodeResponse(b []byte, r *Response) error {
 				return fmt.Errorf("wire: unmarshal ops: %w", err)
 			}
 			r.Ops = ops
+		case rsShards:
+			var n uint64
+			if n, b, err = getUvarint(b); err != nil {
+				return err
+			}
+			if n > uint64(len(b))/2 { // id byte + addr length byte minimum
+				return errBadFrame
+			}
+			shards := make([]ShardInfo, 0, n)
+			for i := uint64(0); i < n; i++ {
+				var sh ShardInfo
+				var v int64
+				if v, b, err = getVarint(b); err != nil {
+					return err
+				}
+				sh.ID = int(v)
+				if sh.Addr, b, err = getString(b); err != nil {
+					return err
+				}
+				shards = append(shards, sh)
+			}
+			r.Shards = shards
+		case rsChunks:
+			cm := &ChunkMapBody{}
+			if cm.Version, b, err = getUvarint(b); err != nil {
+				return err
+			}
+			var n uint64
+			if n, b, err = getUvarint(b); err != nil {
+				return err
+			}
+			if n > uint64(len(b))/3 { // two length bytes + shard byte minimum
+				return errBadFrame
+			}
+			cm.Chunks = make([]ChunkInfo, 0, n)
+			for i := uint64(0); i < n; i++ {
+				var ck ChunkInfo
+				if ck.Min, b, err = getString(b); err != nil {
+					return err
+				}
+				if ck.Max, b, err = getString(b); err != nil {
+					return err
+				}
+				var v int64
+				if v, b, err = getVarint(b); err != nil {
+					return err
+				}
+				ck.Shard = int(v)
+				cm.Chunks = append(cm.Chunks, ck)
+			}
+			r.Chunks = cm
+		case rsEntries:
+			var n uint64
+			if n, b, err = getUvarint(b); err != nil {
+				return err
+			}
+			if n > uint64(len(b))/5 { // secs + inc + kind + 2 length bytes minimum
+				return errBadFrame
+			}
+			entries := make([]EntryBody, 0, n)
+			for i := uint64(0); i < n; i++ {
+				var e EntryBody
+				if e.Secs, b, err = getVarint(b); err != nil {
+					return err
+				}
+				var inc uint64
+				if inc, b, err = getUvarint(b); err != nil {
+					return err
+				}
+				e.Inc = uint32(inc)
+				var code byte
+				if code, b, err = getByte(b); err != nil {
+					return err
+				}
+				if code == entryKindNoop {
+					e.Kind = "noop"
+				} else if name, ok := kindNames[code]; ok {
+					e.Kind = name
+				} else {
+					return fmt.Errorf("%w: entry kind %d", errBadFrame, code)
+				}
+				if e.Collection, b, err = getString(b); err != nil {
+					return err
+				}
+				if e.DocID, b, err = getString(b); err != nil {
+					return err
+				}
+				var hasDoc byte
+				if hasDoc, b, err = getByte(b); err != nil {
+					return err
+				}
+				if hasDoc == 1 {
+					if e.doc, b, err = storage.DecodeDocPrefix(b); err != nil {
+						return errBadFrame
+					}
+				} else if hasDoc != 0 {
+					return errBadFrame
+				}
+				entries = append(entries, e)
+			}
+			r.Entries = entries
+		case rsTruncS:
+			r.TruncSecs, b, err = getVarint(b)
+		case rsTruncI:
+			var v uint64
+			if v, b, err = getUvarint(b); err == nil {
+				r.TruncInc = uint32(v)
+			}
 		default:
 			return fmt.Errorf("%w: response tag %d", errBadFrame, tag)
 		}

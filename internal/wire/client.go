@@ -186,6 +186,7 @@ var (
 	_ driver.CausalConn    = (*Client)(nil)
 	_ driver.TracedConn    = (*Client)(nil)
 	_ driver.TraceProvider = (*Client)(nil)
+	_ driver.OplogTailer   = (*Client)(nil)
 )
 
 // Dial connects to a wire server and fetches the initial topology.
@@ -457,6 +458,75 @@ func (cl *Client) PushTraces() error {
 	}
 	_, err := cl.roundTrip(&Request{Op: OpTracePush, Spans: spans})
 	return err
+}
+
+// ListShards retrieves a mongos's shard roster. Replica-set servers
+// reject the op.
+func (cl *Client) ListShards() ([]ShardInfo, error) {
+	resp, err := cl.roundTrip(&Request{Op: OpListShards})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Shards, nil
+}
+
+// ChunkMap retrieves a mongos's versioned chunk routing table. Nil
+// with no error means the deployment is hash-sharded (no chunk
+// metadata to serve).
+func (cl *Client) ChunkMap() (*ChunkMapBody, error) {
+	resp, err := cl.roundTrip(&Request{Op: OpChunkMap})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Chunks, nil
+}
+
+// MoveChunk asks a mongos to live-migrate the chunk owning key to the
+// given shard. It returns when the hand-off has committed.
+func (cl *Client) MoveChunk(key string, toShard int) error {
+	_, err := cl.roundTrip(&Request{Op: OpMoveChunk, DocID: key, Node: toShard})
+	return err
+}
+
+// OplogTail implements driver.OplogTailer over the wire: scan the
+// primary's oplog after the given OpTime. The returned OpTimes are the
+// primary's lastApplied and the log's truncation horizon.
+func (cl *Client) OplogTail(p sim.Proc, after oplog.OpTime, max int) ([]oplog.DecodedEntry, oplog.OpTime, oplog.OpTime, error) {
+	resp, err := cl.roundTrip(&Request{Op: OpOplogTail, AfterSecs: after.Secs, AfterInc: after.Inc, Limit: max})
+	if err != nil {
+		return nil, oplog.Zero, oplog.Zero, err
+	}
+	entries := make([]oplog.DecodedEntry, 0, len(resp.Entries))
+	for i := range resp.Entries {
+		eb := &resp.Entries[i]
+		doc, derr := eb.document()
+		if derr != nil {
+			return nil, oplog.Zero, oplog.Zero, derr
+		}
+		var kind oplog.Kind
+		switch eb.Kind {
+		case "insert":
+			kind = oplog.KindInsert
+		case "set":
+			kind = oplog.KindSet
+		case "delete":
+			kind = oplog.KindDelete
+		case "noop":
+			kind = oplog.KindNoop
+		default:
+			return nil, oplog.Zero, oplog.Zero, errors.New("wire: unknown oplog entry kind " + eb.Kind)
+		}
+		entries = append(entries, oplog.DecodedEntry{
+			Entry: oplog.Entry{
+				TS:         oplog.OpTime{Secs: eb.Secs, Inc: eb.Inc},
+				Kind:       kind,
+				Collection: eb.Collection,
+				DocID:      eb.DocID,
+			},
+			Doc: doc,
+		})
+	}
+	return entries, optimeFrom(resp.OpSecs, resp.OpInc), optimeFrom(resp.TruncSecs, resp.TruncInc), nil
 }
 
 // ServerStatus implements driver.Conn.

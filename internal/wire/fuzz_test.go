@@ -43,6 +43,31 @@ func FuzzDecodeFrame(f *testing.F) {
 	if body, err := encodeRequest(nil, &traced); err == nil {
 		f.Add(body)
 	}
+	// Shard-op frames: a mongos topology answer (shard roster + chunk
+	// table) and an oplog_tail answer with entries and a truncation
+	// horizon, so mutation explores the sharded-tier decoders too.
+	shardResp := Response{
+		ID: 11, OpSecs: 9, OpInc: 2, TruncSecs: 1, TruncInc: 1,
+		Shards: []ShardInfo{{ID: 0, Addr: "127.0.0.1:27101"}, {ID: 1}},
+		Chunks: &ChunkMapBody{Version: 3, Chunks: []ChunkInfo{
+			{Min: "", Max: "m", Shard: 0}, {Min: "m", Max: "", Shard: 1},
+		}},
+	}
+	shardResp.Entries = []EntryBody{
+		{Secs: 9, Inc: 1, Kind: "set", Collection: "kv", DocID: "a", doc: doc},
+		{Secs: 9, Inc: 2, Kind: "delete", Collection: "kv", DocID: "b"},
+	}
+	if body, err := encodeResponse(nil, &shardResp); err == nil {
+		f.Add(body)
+	}
+	moveReq := Request{ID: 12, Op: OpMoveChunk, DocID: "doc050", Node: 2}
+	if body, err := encodeRequest(nil, &moveReq); err == nil {
+		f.Add(body)
+	}
+	tailReq := Request{ID: 13, Op: OpOplogTail, AfterSecs: 9, AfterInc: 1, Limit: 64}
+	if body, err := encodeRequest(nil, &tailReq); err == nil {
+		f.Add(body)
+	}
 	f.Add([]byte{})
 	f.Add([]byte{rqIDs, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})  // huge count, no bytes
 	f.Add([]byte{rsDocs, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // huge doc count
@@ -53,6 +78,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{rqSpans, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})      // huge span blob, no bytes
 	f.Add([]byte{rsSpans, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 'x'}) // huge response span blob
 	f.Add([]byte{rsOps, 0x02, '[', ']'})
+	f.Add([]byte{rsShards, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})       // huge shard count, no bytes
+	f.Add([]byte{rsChunks, 0x03, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // huge chunk count
+	f.Add([]byte{rsEntries, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 'k'}) // huge entry count
+	f.Add([]byte{rsTruncS, 0x02, rsTruncI})                     // truncation inc cut short
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var rq Request

@@ -59,6 +59,19 @@ const (
 	// balancer-decision hops) into the server's recorder, so one OpTrace
 	// query returns the whole causal tree.
 	OpTracePush = "trace_push"
+	// OpListShards asks a mongos for its shard roster (id + address), so
+	// clients discover the deployment instead of linking shard addresses.
+	OpListShards = "list_shards"
+	// OpChunkMap asks a mongos for its versioned chunk routing table.
+	// Empty on hash-sharded deployments (no chunk metadata).
+	OpChunkMap = "chunk_map"
+	// OpOplogTail scans the primary's oplog after the request's
+	// AfterSecs/AfterInc OpTime, up to Limit entries — the change feed
+	// chunk migration drains a source shard through.
+	OpOplogTail = "oplog_tail"
+	// OpMoveChunk (mongos only) live-migrates the chunk owning DocID to
+	// shard Node, draining writes via the source's oplog tail.
+	OpMoveChunk = "move_chunk"
 )
 
 // MaxFrame bounds a single protocol frame (16 MiB).
@@ -137,6 +150,9 @@ func (m *Mutation) document() (storage.Document, error) {
 	return jsonToDoc(m.Doc)
 }
 
+// Document exposes the typed payload to out-of-package Backends.
+func (m *Mutation) Document() (storage.Document, error) { return m.document() }
+
 // Request is one client->server frame.
 type Request struct {
 	ID         uint64          `json:"id"`
@@ -194,6 +210,10 @@ func (r *Request) filterValue() (storage.Filter, error) {
 	return DecodeFilter(r.Filter)
 }
 
+// FilterValue exposes the typed filter to out-of-package Backends
+// (the mongos dispatcher lives in internal/sharding).
+func (r *Request) FilterValue() (storage.Filter, error) { return r.filterValue() }
+
 // Member is the wire form of a serverStatus member row.
 type Member struct {
 	ID      int    `json:"id"`
@@ -213,6 +233,61 @@ type StatusBody struct {
 type Topology struct {
 	Primary int      `json:"primary"`
 	Zones   []string `json:"zones"` // indexed by node id
+}
+
+// ShardInfo is one row of a mongos's list_shards answer.
+type ShardInfo struct {
+	ID   int    `json:"id"`
+	Addr string `json:"addr,omitempty"` // empty for in-process shards
+}
+
+// ChunkInfo is the wire form of one chunk: the half-open shard-key
+// range [Min, Max) owned by a shard. Empty Min means -inf; empty Max
+// means +inf.
+type ChunkInfo struct {
+	Min   string `json:"min,omitempty"`
+	Max   string `json:"max,omitempty"`
+	Shard int    `json:"shard"`
+}
+
+// ChunkMapBody is a mongos's versioned chunk routing table.
+type ChunkMapBody struct {
+	Version uint64      `json:"version"`
+	Chunks  []ChunkInfo `json:"chunks"`
+}
+
+// EntryBody is the wire form of one decoded oplog entry. Doc is the
+// JSON (v1) payload form; servers fill only the typed doc and the v1
+// codec converts at marshal time, mirroring Mutation.
+type EntryBody struct {
+	Secs       int64          `json:"secs"`
+	Inc        uint32         `json:"inc"`
+	Kind       string         `json:"kind"` // insert | set | delete | noop
+	Collection string         `json:"collection,omitempty"`
+	DocID      string         `json:"doc_id,omitempty"`
+	Doc        map[string]any `json:"doc,omitempty"`
+
+	doc storage.Document // canonical payload; encoded directly by v2
+}
+
+// MarshalJSON materializes the JSON document form from the typed one,
+// like Mutation.MarshalJSON.
+func (e EntryBody) MarshalJSON() ([]byte, error) {
+	type wireEntry EntryBody // drop methods to avoid recursion
+	cp := wireEntry(e)
+	if cp.Doc == nil && e.doc != nil {
+		cp.Doc = docToJSON(e.doc)
+	}
+	return json.Marshal(cp)
+}
+
+// document returns the entry payload in canonical form, whichever
+// codec delivered it.
+func (e *EntryBody) document() (storage.Document, error) {
+	if e.doc != nil {
+		return e.doc, nil
+	}
+	return jsonToDoc(e.Doc)
 }
 
 // Response is one server->client frame.
@@ -238,6 +313,15 @@ type Response struct {
 	// Spans answers the trace op; Ops answers current_op.
 	Spans []trace.Span   `json:"spans,omitempty"`
 	Ops   []trace.OpInfo `json:"ops,omitempty"`
+	// Shards answers list_shards; Chunks answers chunk_map.
+	Shards []ShardInfo   `json:"shards,omitempty"`
+	Chunks *ChunkMapBody `json:"chunks,omitempty"`
+	// Entries answers oplog_tail; OpSecs/OpInc carry the primary's
+	// lastApplied and TruncSecs/TruncInc the log's truncation horizon,
+	// so tailers detect both "caught up" and "fell off the log".
+	Entries   []EntryBody `json:"entries,omitempty"`
+	TruncSecs int64       `json:"trunc_secs,omitempty"`
+	TruncInc  uint32      `json:"trunc_inc,omitempty"`
 
 	// Typed document results, used by the v2 codec in both directions:
 	// the server fills rawDoc/rawDocs with cached BSON-lite encodings
@@ -247,6 +331,22 @@ type Response struct {
 	docs    []storage.Document
 	rawDoc  []byte
 	rawDocs [][]byte
+}
+
+// SetDoc fills the single-document result from an out-of-package
+// Backend, routing to the codec-appropriate field.
+func (r *Response) SetDoc(binary bool, d storage.Document) {
+	if d == nil {
+		return
+	}
+	r.Found = true
+	fillDoc(r, binary, d)
+}
+
+// SetDocs fills a multi-document result from an out-of-package
+// Backend.
+func (r *Response) SetDocs(binary bool, ds []storage.Document) {
+	fillDocs(r, binary, ds)
 }
 
 // document returns the single-document result in canonical form,

@@ -14,9 +14,7 @@ import (
 	"decongestant/internal/cluster"
 	"decongestant/internal/obs"
 	"decongestant/internal/obs/trace"
-	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
-	"decongestant/internal/storage"
 )
 
 // ServerConfig tunes the server's admission control and connection
@@ -75,20 +73,41 @@ func (c ServerConfig) connLimit() int {
 	return defaultMaxConns
 }
 
-// Server exposes a replica set (running on a real-time environment)
-// over TCP. Connections are pipelined: a reader goroutine decodes
-// frames, each request is dispatched on its own proc, and id-tagged
-// responses stream back in completion order — so one socket carries
-// many requests in flight. Each connection speaks the protocol version
-// negotiated by its opening handshake: v2 responses are encoded into
-// pooled buffers and flushed in bursts through one writev, and
-// document payloads come from the storage layer's encoding cache; v1
-// connections keep the original JSON codec.
-type Server struct {
-	env *sim.RealtimeEnv
-	rs  *cluster.ReplicaSet
+// Backend executes protocol requests for a Server. The transport layer
+// (framing, admission control, pipelining, tracing spans, the
+// metrics/trace/current_op export ops) is backend-agnostic; the
+// backend supplies the registry and recorder those surfaces read from
+// and dispatches everything else — replica-set ops for a shard server,
+// routed ops for a mongos.
+type Backend interface {
+	// Metrics is the registry the metrics op snapshots and the server
+	// registers its transport instruments in.
+	Metrics() *obs.Registry
+	// Tracer is the span recorder admission/dispatch spans land in and
+	// the trace export ops read from.
+	Tracer() *trace.Recorder
+	// Dispatch executes one non-transport request. The trace context is
+	// the server's dispatch span (zero when unsampled); binary reports
+	// whether the connection speaks v2, so encoded-document fast paths
+	// apply.
+	Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.Context) *Response
+}
 
-	// tracer is the replica set's span recorder; the server records
+// Server exposes a Backend (a replica set, a mongos router — anything
+// running on a real-time environment) over TCP. Connections are
+// pipelined: a reader goroutine decodes frames, each request is
+// dispatched on its own proc, and id-tagged responses stream back in
+// completion order — so one socket carries many requests in flight.
+// Each connection speaks the protocol version negotiated by its
+// opening handshake: v2 responses are encoded into pooled buffers and
+// flushed in bursts through one writev, and document payloads come
+// from the storage layer's encoding cache; v1 connections keep the
+// original JSON codec.
+type Server struct {
+	env     *sim.RealtimeEnv
+	backend Backend
+
+	// tracer is the backend's span recorder; the server records
 	// admission and dispatch spans into it for sampled requests and
 	// serves the trace export ops from it. curOps tracks requests
 	// currently in dispatch when cfg.CurrentOp is set (nil otherwise).
@@ -135,7 +154,8 @@ type Server struct {
 var wireOps = []string{
 	OpTopology, OpPing, OpStatus, OpFindByID, OpFindMany, OpFind,
 	OpCount, OpWriteBatch, OpMetrics, OpMetricsPush,
-	OpTrace, OpCurrentOp, OpTracePush, "other",
+	OpTrace, OpCurrentOp, OpTracePush,
+	OpListShards, OpChunkMap, OpOplogTail, OpMoveChunk, "other",
 }
 
 // NewServer creates a server over the given replica set with the
@@ -145,14 +165,21 @@ func NewServer(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger)
 	return NewServerWith(env, rs, logger, ServerConfig{})
 }
 
-// NewServerWith creates a server with explicit admission-control and
-// connection-lifecycle configuration.
+// NewServerWith creates a replica-set server with explicit
+// admission-control and connection-lifecycle configuration.
 func NewServerWith(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Logger, cfg ServerConfig) *Server {
+	return NewBackendServer(env, &rsBackend{rs: rs}, logger, cfg)
+}
+
+// NewBackendServer creates a server over an arbitrary Backend — the
+// entry point mongosd uses to put a router behind the same transport,
+// admission control and observability surface a shard server has.
+func NewBackendServer(env *sim.RealtimeEnv, backend Backend, logger *log.Logger, cfg ServerConfig) *Server {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
 	s := &Server{
-		env: env, rs: rs,
+		env: env, backend: backend,
 		opCounts: make(map[string]*obs.Counter, len(wireOps)),
 		opLat:    make(map[string]*obs.Histogram, len(wireOps)),
 		cfg:      cfg,
@@ -160,11 +187,11 @@ func NewServerWith(env *sim.RealtimeEnv, rs *cluster.ReplicaSet, logger *log.Log
 		pushed:   map[string]obs.Snapshot{},
 		log:      logger,
 	}
-	s.tracer = rs.Tracer()
+	s.tracer = backend.Tracer()
 	if cfg.CurrentOp {
 		s.curOps = trace.NewOpRegistry()
 	}
-	reg := rs.Metrics()
+	reg := backend.Metrics()
 	for _, op := range wireOps {
 		s.opCounts[op] = reg.Counter(obs.Name("wire.requests", "op", op))
 		s.opLat[op] = reg.Histogram(obs.Name("wire.request_latency", "op", op))
@@ -571,16 +598,6 @@ func (cw countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// execRead runs a read op, honoring an afterClusterTime prerequisite
-// when the request carries one, and returns the node's applied OpTime.
-// The trace context and declared staleness bound travel into the
-// cluster layer, which records the node-exec span and audits observed
-// staleness on secondary-served reads.
-func (s *Server) execRead(p sim.Proc, req *Request, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
-	after := oplog.OpTime{Secs: req.AfterSecs, Inc: req.AfterInc}
-	return s.rs.ExecReadMeta(p, req.Node, after, cluster.ReadMeta{Ctx: tctx, BoundSecs: req.BoundSecs}, fn)
-}
-
 // routeString renders the balancer decision snapshot a request's trace
 // context carried, for the slow-op log. "-" means the request rode
 // without one — either sampling was off (the context costs zero bytes
@@ -603,154 +620,19 @@ func (s *Server) CurrentOps() []trace.OpInfo {
 	return s.curOps.Snapshot(s.env.Now())
 }
 
-// dispatch executes one request. On binary connections read results
-// flow through cluster.EncodedReadView when the serving view offers
-// it, so responses carry each document's cached BSON-lite encoding
+// dispatch executes one request: the transport-owned export ops
+// (metrics, trace, current_op and their push counterparts) are served
+// here against the server's own state, everything else goes to the
+// backend. On binary connections backends route read results through
+// cluster.EncodedReadView when the serving view offers it, so
+// responses carry each document's cached BSON-lite encoding
 // (rawDoc/rawDocs) and the write loop splices bytes instead of
 // re-serializing; JSON connections get the map forms as before.
 func (s *Server) dispatch(p sim.Proc, req *Request, binary bool, tctx trace.Context) *Response {
 	resp := &Response{}
-	fail := func(err error) *Response {
-		resp.Err = err.Error()
-		return resp
-	}
-	if req.Node < 0 || req.Node >= len(s.rs.NodeIDs()) {
-		switch req.Op {
-		case OpTopology, OpWriteBatch, OpMetrics, OpMetricsPush,
-			OpTrace, OpCurrentOp, OpTracePush:
-			// Not addressed to a node.
-		default:
-			return fail(fmt.Errorf("wire: bad node %d", req.Node))
-		}
-	}
 	switch req.Op {
-	case OpTopology:
-		topo := &Topology{Primary: s.rs.PrimaryID()}
-		for _, id := range s.rs.NodeIDs() {
-			topo.Zones = append(topo.Zones, s.rs.Zone(id))
-		}
-		resp.Topo = topo
-	case OpPing:
-		if s.rs.Ping(p, req.Node) < 0 {
-			return fail(cluster.ErrNodeDown)
-		}
-	case OpStatus:
-		st := s.rs.ServerStatus(p, req.Node)
-		body := &StatusBody{From: st.From, Primary: st.Primary}
-		for _, m := range st.Members {
-			body.Members = append(body.Members, Member{
-				ID: m.ID, Primary: m.Primary, Secs: m.Applied.Secs, Inc: m.Applied.Inc,
-			})
-		}
-		resp.Status = body
-	case OpFindByID:
-		res, ts, err := s.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
-			if binary {
-				if ev, ok := v.(cluster.EncodedReadView); ok {
-					if e, found := ev.FindByIDEncoded(req.Collection, req.DocID); found {
-						return e, nil
-					}
-					return nil, nil
-				}
-			}
-			d, ok := v.FindByID(req.Collection, req.DocID)
-			if !ok {
-				return nil, nil
-			}
-			return d, nil
-		})
-		if err != nil {
-			return fail(err)
-		}
-		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
-		switch d := res.(type) {
-		case *storage.EncodedDoc:
-			resp.Found = true
-			resp.rawDoc = d.Bytes()
-		case storage.Document:
-			if d != nil {
-				resp.Found = true
-				s.fillDoc(resp, binary, d)
-			}
-		}
-	case OpFindMany:
-		res, ts, err := s.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
-			if binary {
-				if ev, ok := v.(cluster.EncodedReadView); ok {
-					return ev.FindManyByIDEncoded(req.Collection, req.IDs), nil
-				}
-			}
-			return v.FindManyByID(req.Collection, req.IDs), nil
-		})
-		if err != nil {
-			return fail(err)
-		}
-		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
-		s.fillDocs(resp, binary, res)
-	case OpFind:
-		filter, err := req.filterValue()
-		if err != nil {
-			return fail(err)
-		}
-		res, ts, err := s.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
-			if binary {
-				if ev, ok := v.(cluster.EncodedReadView); ok {
-					return ev.FindEncoded(req.Collection, filter, req.Limit), nil
-				}
-			}
-			return v.Find(req.Collection, filter, req.Limit), nil
-		})
-		if err != nil {
-			return fail(err)
-		}
-		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
-		s.fillDocs(resp, binary, res)
-	case OpCount:
-		filter, err := req.filterValue()
-		if err != nil {
-			return fail(err)
-		}
-		res, ts, err := s.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
-			return v.Count(req.Collection, filter), nil
-		})
-		if err != nil {
-			return fail(err)
-		}
-		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
-		resp.Count = res.(int)
-	case OpWriteBatch:
-		_, commitTS, err := s.rs.ExecWriteConcernMeta(p, cluster.W1, cluster.ReadMeta{Ctx: tctx}, func(tx cluster.WriteTxn) (any, error) {
-			for i := range req.Muts {
-				m := &req.Muts[i]
-				doc, derr := m.document()
-				if derr != nil {
-					return nil, derr
-				}
-				switch m.Kind {
-				case "insert":
-					if derr := tx.Insert(m.Collection, doc); derr != nil {
-						return nil, derr
-					}
-				case "set":
-					if derr := tx.Set(m.Collection, m.DocID, doc); derr != nil {
-						return nil, derr
-					}
-				case "delete":
-					if derr := tx.Delete(m.Collection, m.DocID); derr != nil {
-						return nil, derr
-					}
-				default:
-					return nil, fmt.Errorf("wire: unknown mutation kind %q", m.Kind)
-				}
-			}
-			return nil, nil
-		})
-		if err != nil {
-			return fail(err)
-		}
-		resp.OpSecs, resp.OpInc = commitTS.Secs, commitTS.Inc
 	case OpMetrics:
-		snap := s.rs.Metrics().Snapshot()
+		snap := s.backend.Metrics().Snapshot()
 		s.mu.Lock()
 		others := make([]obs.Snapshot, 0, len(s.pushed))
 		for _, ps := range s.pushed {
@@ -767,7 +649,8 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool, tctx trace.Cont
 		if req.DocID != "" {
 			id, err := trace.ParseID(req.DocID)
 			if err != nil {
-				return fail(fmt.Errorf("wire: bad trace id %q", req.DocID))
+				resp.Err = fmt.Sprintf("wire: bad trace id %q", req.DocID)
+				return resp
 			}
 			resp.Spans = s.tracer.TraceSpans(id)
 		} else {
@@ -786,7 +669,8 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool, tctx trace.Cont
 		s.tracer.Import(req.Spans)
 	case OpMetricsPush:
 		if req.Snapshot == nil {
-			return fail(fmt.Errorf("wire: metrics_push without a snapshot"))
+			resp.Err = "wire: metrics_push without a snapshot"
+			return resp
 		}
 		src := req.Source
 		if src == "" {
@@ -796,38 +680,7 @@ func (s *Server) dispatch(p sim.Proc, req *Request, binary bool, tctx trace.Cont
 		s.pushed[src] = req.Snapshot.Prefixed(src + ".")
 		s.mu.Unlock()
 	default:
-		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+		return s.backend.Dispatch(p, req, binary, tctx)
 	}
 	return resp
-}
-
-// fillDoc routes a single-document result to the codec-appropriate
-// response field.
-func (s *Server) fillDoc(resp *Response, binary bool, d storage.Document) {
-	if binary {
-		resp.doc = d
-	} else {
-		resp.Doc = docToJSON(d)
-	}
-}
-
-// fillDocs routes a multi-document read result — encoded wrappers or
-// plain documents — to the codec-appropriate response fields.
-func (s *Server) fillDocs(resp *Response, binary bool, res any) {
-	switch ds := res.(type) {
-	case []*storage.EncodedDoc:
-		raw := make([][]byte, 0, len(ds))
-		for _, e := range ds {
-			raw = append(raw, e.Bytes())
-		}
-		resp.rawDocs = raw
-	case []storage.Document:
-		if binary {
-			resp.docs = ds
-			return
-		}
-		for _, d := range ds {
-			resp.Docs = append(resp.Docs, docToJSON(d))
-		}
-	}
 }
