@@ -1,8 +1,10 @@
 package sharding
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,13 +105,22 @@ func (m *ChunkMap) split(key string) (*ChunkMap, error) {
 }
 
 // move returns a copy with the chunk starting at min reassigned to
-// shard `to`.
+// shard `to`. A min that matches no chunk is an invariant violation —
+// migration holds the single migration slot and splits are rejected
+// while it runs, so the chunk resolved at beginMigration must still
+// exist — and panics rather than publishing a version bump that moved
+// nothing.
 func (m *ChunkMap) move(min string, to int) *ChunkMap {
 	out := &ChunkMap{Version: m.Version + 1, Chunks: append([]Chunk(nil), m.Chunks...)}
+	found := false
 	for i := range out.Chunks {
 		if out.Chunks[i].Min == min {
 			out.Chunks[i].Shard = to
+			found = true
 		}
+	}
+	if !found {
+		panic(fmt.Sprintf("sharding: move: no chunk with min %q in table v%d", min, m.Version))
 	}
 	return out
 }
@@ -131,16 +142,23 @@ func (e *StaleChunkError) Error() string {
 		e.Key, e.PlannedShard, e.OwnerShard, e.Version)
 }
 
-// IsStaleChunk reports whether err is a stale-chunk-version rejection
-// (possibly carried across the wire as a string).
+// staleChunkMarker is the stable prefix-independent token every
+// StaleChunkError message carries; mongosd flattens errors to strings
+// on the wire, so remote callers match on it.
+const staleChunkMarker = "stale chunk version"
+
+// IsStaleChunk reports whether err is a stale-chunk-version rejection,
+// either the typed form (possibly wrapped) or the string form a wire
+// response carries after the error crossed mongosd as text.
 func IsStaleChunk(err error) bool {
 	if err == nil {
 		return false
 	}
-	if _, ok := err.(*StaleChunkError); ok {
+	var sce *StaleChunkError
+	if errors.As(err, &sce) {
 		return true
 	}
-	return false
+	return strings.Contains(err.Error(), staleChunkMarker)
 }
 
 // inflightKey identifies a set of in-flight ops: the chunk range they
@@ -224,14 +242,24 @@ const freezeWaitPoll = 2 * time.Millisecond
 // the freeze lifts, then revalidate — after a migration hand-off the
 // revalidation observes the new owner and fails stale, steering the
 // retried write to the destination shard.
+//
+// Validation and in-flight registration happen under one a.mu hold,
+// and commitMove publishes the moved table under the same lock: an op
+// admitted against the old owner is therefore visible to the
+// migration's freeze/drain before the ownership flip, and an op that
+// misses the drain observes the new table and fails stale. Without
+// that atomicity a write could validate against the pre-move table,
+// register after the final drain, land on the source, and be deleted
+// by cleanup — a silently lost acknowledged write.
 func (a *ChunkAuthority) Enter(p sim.Proc, key string, shard int, write bool) (lease, error) {
 	for {
+		a.mu.Lock()
 		m := a.cur.Load()
 		ck := m.At(key)
 		if ck.Shard != shard {
+			a.mu.Unlock()
 			return lease{}, &StaleChunkError{Key: key, PlannedShard: shard, OwnerShard: ck.Shard, Version: m.Version}
 		}
-		a.mu.Lock()
 		if write && a.frozen && keyInRange(key, a.frozenMin, a.frozenMax) {
 			a.mu.Unlock()
 			a.gate.WaitTimeout(p, freezeWaitPoll)

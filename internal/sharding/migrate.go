@@ -21,7 +21,8 @@ type MigrateOptions struct {
 	BatchSize int
 	// CatchupRounds bounds oplog catch-up iterations before the
 	// migration freezes writes regardless of remaining lag (default
-	// 1000); the freeze guarantees the final drain terminates.
+	// 1000); the final drain is separately bounded by the oplog
+	// position captured at freeze time.
 	CatchupRounds int
 	// SecondaryWait bounds how long the hand-off waits for the
 	// destination's secondaries to replicate the cloned range before
@@ -82,7 +83,12 @@ func (r *Router) SplitChunk(key string) error {
 //     delete the source copy.
 //
 // The source keeps a complete copy of the range until step 5, so
-// reads are served correctly throughout.
+// reads are served correctly throughout. A migration that fails
+// before the flip purges the destination's partial clone before
+// releasing the migration slot, so no orphan documents survive an
+// abort; each clone attempt likewise purges the destination's range
+// first (a resync's stale snapshot could otherwise resurrect
+// documents deleted on the source between attempts).
 func (r *Router) MigrateChunk(p sim.Proc, key string, to int, opts MigrateOptions) error {
 	if r.auth == nil {
 		return fmt.Errorf("sharding: chunk routing not enabled")
@@ -109,15 +115,28 @@ func (r *Router) MigrateChunk(p sim.Proc, key string, to int, opts MigrateOption
 		return fmt.Errorf("sharding: source shard %d connection cannot tail the oplog", ck.Shard)
 	}
 
-	if err := r.runMigration(p, ck, to, src, dst, tailer, opts); err != nil {
-		r.auth.abortMigration()
+	committed, err := r.runMigration(p, ck, to, src, dst, tailer, opts)
+	if err != nil {
+		if !committed {
+			// The destination holds a partial clone of a range it does
+			// not own; purge it before releasing the migration slot so
+			// scatter reads and a later retry never see orphans.
+			if perr := r.deleteRange(p, ck, dst, opts); perr != nil {
+				err = fmt.Errorf("%w (orphan purge on destination shard %d also failed: %v)", err, to, perr)
+			}
+			r.auth.abortMigration()
+		}
 		return err
 	}
 	r.migrationsDone.Inc(1)
 	return nil
 }
 
-func (r *Router) runMigration(p sim.Proc, ck Chunk, to int, src, dst driver.Conn, tailer driver.OplogTailer, opts MigrateOptions) error {
+// runMigration drives the protocol. committed reports whether the
+// ownership flip was published: once true the destination is the
+// owner and the caller must not purge it or abort the (already
+// released) migration slot, even if source cleanup failed.
+func (r *Router) runMigration(p sim.Proc, ck Chunk, to int, src, dst driver.Conn, tailer driver.OplogTailer, opts MigrateOptions) (committed bool, err error) {
 	collSet := make(map[string]bool, len(opts.Collections))
 	for _, c := range opts.Collections {
 		collSet[c] = true
@@ -126,10 +145,20 @@ func (r *Router) runMigration(p sim.Proc, ck Chunk, to int, src, dst driver.Conn
 	var cursor oplog.OpTime
 	for resync := 0; ; resync++ {
 		if resync > maxResyncs {
-			return fmt.Errorf("sharding: migration of %s gave up after %d oplog resyncs", ck, maxResyncs)
+			return false, fmt.Errorf("sharding: migration of %s gave up after %d oplog resyncs", ck, maxResyncs)
 		}
 		if resync > 0 {
 			r.migrationResyncs.Inc(1)
+		}
+		// Purge any copy of the range already on the destination —
+		// orphans from an aborted earlier attempt, or the previous
+		// snapshot on a truncation resync. The fresh replay cursor
+		// starts at "now", so a document deleted on the source since
+		// the stale clone would be neither in the new snapshot nor
+		// replayed as a delete; cloning over the stale copy would
+		// resurrect it after the ownership flip.
+		if err := r.deleteRange(p, ck, dst, opts); err != nil {
+			return false, err
 		}
 		// The replay cursor is captured before the snapshot reads, so
 		// every write racing the clone is replayed; re-applying
@@ -137,15 +166,15 @@ func (r *Router) runMigration(p sim.Proc, ck Chunk, to int, src, dst driver.Conn
 		// full suffix replays in order).
 		_, applied, _, err := tailer.OplogTail(p, oplog.OpTime{Secs: 1 << 60}, 1)
 		if err != nil {
-			return fmt.Errorf("sharding: migration cursor: %w", err)
+			return false, fmt.Errorf("sharding: migration cursor: %w", err)
 		}
 		cursor = applied
 		if err := r.cloneRange(p, ck, src, dst, opts); err != nil {
-			return err
+			return false, err
 		}
-		gap, cur, err := r.catchUp(p, ck, collSet, dst, tailer, cursor, opts, false)
+		gap, cur, err := r.catchUp(p, ck, collSet, dst, tailer, cursor, opts, nil)
 		if err != nil {
-			return err
+			return false, err
 		}
 		if gap {
 			continue // oplog truncated under us: full resync
@@ -154,14 +183,22 @@ func (r *Router) runMigration(p sim.Proc, ck Chunk, to int, src, dst driver.Conn
 		break
 	}
 
-	// Hand-off: stop writes to the range, drain the tail to empty,
-	// and make sure the destination's secondaries hold the clone
-	// before reads can be routed there.
+	// Hand-off: stop writes to the range, drain the tail through the
+	// freeze point, and make sure the destination's secondaries hold
+	// the clone before reads can be routed there.
 	r.auth.freezeWrites(p, ck)
-	if _, cur, err := r.catchUp(p, ck, collSet, dst, tailer, cursor, opts, true); err != nil {
-		return err
-	} else {
-		cursor = cur
+	// Writes to the range are now frozen and drained, so every
+	// relevant oplog entry sits at or before the primary's applied
+	// optime right now. Capturing it bounds the final drain: sustained
+	// writes to other chunks on the same source shard keep appending
+	// to the shared oplog forever, so "a round came back empty" alone
+	// may never hold.
+	_, frozenEnd, _, err := tailer.OplogTail(p, oplog.OpTime{Secs: 1 << 60}, 1)
+	if err != nil {
+		return false, fmt.Errorf("sharding: freeze point: %w", err)
+	}
+	if _, _, err := r.catchUp(p, ck, collSet, dst, tailer, cursor, opts, &frozenEnd); err != nil {
+		return false, err
 	}
 	r.waitSecondaries(p, dst, opts.SecondaryWait)
 	r.auth.commitMove(ck, to)
@@ -170,7 +207,7 @@ func (r *Router) runMigration(p sim.Proc, ck Chunk, to int, src, dst driver.Conn
 	// Reads planned against the old table may still be running on the
 	// source; only after they finish is the source copy deletable.
 	r.auth.drainReaders(p, ck, ck.Shard)
-	return r.deleteRange(p, ck, src, opts)
+	return true, r.deleteRange(p, ck, src, opts)
 }
 
 // cloneRange snapshot-copies every document of the chunk's range from
@@ -208,19 +245,28 @@ func (r *Router) cloneRange(p sim.Proc, ck Chunk, src, dst driver.Conn, opts Mig
 }
 
 // catchUp replays source-oplog writes to the chunk's range onto the
-// destination, starting after cursor. With toEmpty it drains until a
-// round returns nothing (writes must already be frozen); otherwise it
-// stops once a round returns fewer than catchupThreshold entries or
-// the round budget runs out. It reports a truncation gap (the log no
-// longer reaches back to the cursor), the advanced cursor, and any
-// replay error.
-func (r *Router) catchUp(p sim.Proc, ck Chunk, colls map[string]bool, dst driver.Conn, tailer driver.OplogTailer, cursor oplog.OpTime, opts MigrateOptions, toEmpty bool) (bool, oplog.OpTime, error) {
+// destination, starting after cursor. With drainTo set it drains the
+// frozen tail: writes to the range are frozen and drained, so every
+// relevant entry is at or before drainTo (the primary's applied
+// optime captured after the freeze) — the drain ends once the cursor
+// reaches drainTo or a round comes back empty, bounded by the oplog
+// length at freeze time no matter how fast other chunks keep writing.
+// Without drainTo it stops once a round returns fewer than
+// catchupThreshold entries or the round budget runs out. It reports a
+// truncation gap (the log no longer reaches back to the cursor), the
+// advanced cursor, and any replay error; a gap during the frozen
+// drain is an error — resyncing would require unfreezing, so the
+// migration fails instead of holding writes indefinitely.
+func (r *Router) catchUp(p sim.Proc, ck Chunk, colls map[string]bool, dst driver.Conn, tailer driver.OplogTailer, cursor oplog.OpTime, opts MigrateOptions, drainTo *oplog.OpTime) (bool, oplog.OpTime, error) {
 	for round := 0; ; round++ {
 		entries, _, trunc, err := tailer.OplogTail(p, cursor, 1024)
 		if err != nil {
 			return false, cursor, fmt.Errorf("sharding: oplog tail: %w", err)
 		}
 		if cursor.Before(trunc) {
+			if drainTo != nil {
+				return false, cursor, fmt.Errorf("sharding: source oplog truncated past the drain cursor while writes were frozen")
+			}
 			return true, cursor, nil
 		}
 		if err := r.replay(p, ck, colls, dst, entries, opts.BatchSize); err != nil {
@@ -229,8 +275,8 @@ func (r *Router) catchUp(p sim.Proc, ck Chunk, colls map[string]bool, dst driver
 		if len(entries) > 0 {
 			cursor = entries[len(entries)-1].TS
 		}
-		if toEmpty {
-			if len(entries) == 0 {
+		if drainTo != nil {
+			if len(entries) == 0 || !cursor.Before(*drainTo) {
 				return false, cursor, nil
 			}
 			continue
@@ -307,10 +353,12 @@ func (r *Router) waitSecondaries(p sim.Proc, dst driver.Conn, wait time.Duration
 	}
 }
 
-// deleteRange removes the migrated range from the source shard.
-func (r *Router) deleteRange(p sim.Proc, ck Chunk, src driver.Conn, opts MigrateOptions) error {
+// deleteRange removes the chunk's range from the given shard — the
+// source copy after a committed hand-off, or the destination's
+// partial clone before a (re)clone and on abort.
+func (r *Router) deleteRange(p sim.Proc, ck Chunk, conn driver.Conn, opts MigrateOptions) error {
 	for _, coll := range opts.Collections {
-		res, err := src.ExecRead(p, src.PrimaryID(), func(v cluster.ReadView) (any, error) {
+		res, err := conn.ExecRead(p, conn.PrimaryID(), func(v cluster.ReadView) (any, error) {
 			return v.Find(coll, rangeFilter(ck), 0), nil
 		})
 		if err != nil {
@@ -327,7 +375,7 @@ func (r *Router) deleteRange(p sim.Proc, ck Chunk, src driver.Conn, opts Migrate
 			}
 			batch := ids[:n]
 			ids = ids[n:]
-			_, err := src.ExecWrite(p, func(tx cluster.WriteTxn) (any, error) {
+			_, err := conn.ExecWrite(p, func(tx cluster.WriteTxn) (any, error) {
 				for _, id := range batch {
 					if err := tx.Delete(coll, id); err != nil {
 						return nil, err

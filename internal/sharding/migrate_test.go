@@ -240,6 +240,69 @@ func TestMigrateChunkUnderLoad(t *testing.T) {
 	}
 }
 
+// TestMigrateChunkPurgesStaleDestinationCopy: a clone attempt must
+// delete the destination's copy of the range before copying. The
+// orphan here stands in for an aborted earlier migration (or a
+// truncation resync's stale snapshot) whose document was since
+// deleted on the source: it is in neither the new snapshot nor the
+// replay stream, so without the purge it would survive the ownership
+// flip and resurrect.
+func TestMigrateChunkPurgesStaleDestinationCopy(t *testing.T) {
+	env := sim.NewRealtimeEnv(13)
+	defer env.Shutdown()
+	cfg := shardConfig()
+	cfg.ReplIdlePoll = 2 * time.Millisecond
+	c := New(env, 2, cfg)
+	c.EnableChunks([]string{"doc200"})
+	r := NewRouter(env, c, core.DefaultParams())
+
+	p := env.Adhoc("test")
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("doc%03d", i)
+		if _, err := r.Insert(p, "kv", storage.D{"_id": id, "seq": int64(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := c.Owner("doc250")
+	dest := 1 - moved
+
+	// Plant the orphan directly on the destination, inside the moving
+	// range, bypassing the router — the source has never seen this id.
+	orphan := "doc250-stale-orphan"
+	dconn := r.conns[dest]
+	if _, err := dconn.ExecWrite(p, func(tx cluster.WriteTxn) (any, error) {
+		return nil, tx.Set("kv", orphan, storage.D{"_id": orphan, "seq": int64(-1)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.MigrateChunk(p, "doc250", dest, MigrateOptions{}); err != nil {
+		t.Fatalf("MigrateChunk: %v", err)
+	}
+
+	res, err := dconn.ExecRead(p, dconn.PrimaryID(), func(v cluster.ReadView) (any, error) {
+		d, ok := v.FindByID("kv", orphan)
+		if !ok {
+			return nil, nil
+		}
+		return d, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		t.Fatalf("stale orphan %s survived the migration (purge-before-clone missing)", orphan)
+	}
+	// The legitimate documents all moved intact.
+	docs, err := r.ScatterFind(p, "kv", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 300 {
+		t.Fatalf("post-migration scatter saw %d docs, want 300", len(docs))
+	}
+}
+
 // TestMigrateChunkErrors covers the guard rails.
 func TestMigrateChunkErrors(t *testing.T) {
 	env := sim.NewRealtimeEnv(9)

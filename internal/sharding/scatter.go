@@ -198,13 +198,13 @@ func (r *Router) scatterFind(p sim.Proc, tctx trace.Context, collection string, 
 		return shardPart{docs: docs}
 	})
 	perr := r.gather(parts, opts)
-	runs := make([][]storage.Document, 0, len(parts))
-	for _, part := range parts {
+	runs := make([]shardRun, 0, len(parts))
+	for shard, part := range parts {
 		if part.err == nil && len(part.docs) > 0 {
-			runs = append(runs, part.docs)
+			runs = append(runs, shardRun{shard: shard, docs: part.docs})
 		}
 	}
-	merged := mergeByID(runs, limit)
+	merged := mergeByID(runs, limit, r.Owner)
 	if perr != nil {
 		return merged, perr
 	}
@@ -254,31 +254,44 @@ func sorted(docs []storage.Document) bool {
 	return true
 }
 
+// shardRun is one shard's sorted result run entering the k-way merge;
+// the shard index lets the merge resolve duplicate _ids in favor of
+// the owning shard.
+type shardRun struct {
+	shard int
+	docs  []storage.Document
+}
+
 // runHeap is a min-heap of sorted runs keyed by each run's head _id —
 // the streaming side of the k-way merge.
 type runHeap struct {
-	runs [][]storage.Document
+	runs []shardRun
 }
 
 func (h *runHeap) Len() int { return len(h.runs) }
 func (h *runHeap) Less(i, j int) bool {
-	return h.runs[i][0].ID() < h.runs[j][0].ID()
+	return h.runs[i].docs[0].ID() < h.runs[j].docs[0].ID()
 }
-func (h *runHeap) Swap(i, j int)      { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
-func (h *runHeap) Push(x any)         { h.runs = append(h.runs, x.([]storage.Document)) }
-func (h *runHeap) Pop() any           { n := len(h.runs); r := h.runs[n-1]; h.runs = h.runs[:n-1]; return r }
+func (h *runHeap) Swap(i, j int) { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *runHeap) Push(x any)    { h.runs = append(h.runs, x.(shardRun)) }
+func (h *runHeap) Pop() any      { n := len(h.runs); r := h.runs[n-1]; h.runs = h.runs[:n-1]; return r }
 
 // mergeByID streams the k sorted runs into one _id-ordered slice,
 // stopping at limit instead of materializing the full union. It
 // de-duplicates equal _ids across runs — during a chunk migration the
 // moving range transiently exists on both source and destination, and
-// the merge must not surface both copies.
-func mergeByID(runs [][]storage.Document, limit int) []storage.Document {
+// the merge must not surface both copies. When owner is non-nil,
+// duplicates resolve to the copy from the shard that owns the key
+// under the router's cached table: pre-flip that is the source (the
+// authoritative copy; the destination's clone may lag), post-flip the
+// destination (by then fully drained). Keeping whichever copy the
+// heap pops first would arbitrarily surface stale clone data.
+func mergeByID(runs []shardRun, limit int, owner func(string) int) []storage.Document {
 	switch len(runs) {
 	case 0:
 		return nil
 	case 1:
-		out := runs[0]
+		out := runs[0].docs
 		if limit > 0 && len(out) > limit {
 			out = out[:limit]
 		}
@@ -288,22 +301,31 @@ func mergeByID(runs [][]storage.Document, limit int) []storage.Document {
 	heap.Init(h)
 	total := 0
 	for _, r := range runs {
-		total += len(r)
+		total += len(r.docs)
 	}
 	if limit > 0 && limit < total {
 		total = limit
 	}
 	out := make([]storage.Document, 0, total)
 	lastID := ""
-	for h.Len() > 0 && (limit <= 0 || len(out) < limit) {
+	lastShard := -1
+	// Keep draining duplicates of the last emitted _id even once the
+	// limit is reached, so the owner's copy can still displace a stale
+	// one that happened to pop first.
+	for h.Len() > 0 && (limit <= 0 || len(out) < limit || h.runs[0].docs[0].ID() == lastID) {
 		run := h.runs[0]
-		d := run[0]
-		if id := d.ID(); len(out) == 0 || id != lastID {
+		d := run.docs[0]
+		id := d.ID()
+		switch {
+		case len(out) == 0 || id != lastID:
 			out = append(out, d)
-			lastID = id
+			lastID, lastShard = id, run.shard
+		case owner != nil && run.shard != lastShard && owner(id) == run.shard:
+			out[len(out)-1] = d
+			lastShard = run.shard
 		}
-		if len(run) > 1 {
-			h.runs[0] = run[1:]
+		if len(run.docs) > 1 {
+			h.runs[0].docs = run.docs[1:]
 			heap.Fix(h, 0)
 		} else {
 			heap.Pop(h)

@@ -39,15 +39,67 @@ func TestMergeByID(t *testing.T) {
 			}
 		}
 	}
-	eq(mergeByID(nil, 0))
-	eq(mergeByID([][]storage.Document{mk("a", "c")}, 0), "a", "c")
-	eq(mergeByID([][]storage.Document{mk("a", "d"), mk("b", "c", "e")}, 0), "a", "b", "c", "d", "e")
-	eq(mergeByID([][]storage.Document{mk("a", "d"), mk("b", "c", "e")}, 3), "a", "b", "c")
+	runs := func(rs ...[]storage.Document) []shardRun {
+		out := make([]shardRun, len(rs))
+		for i, r := range rs {
+			out[i] = shardRun{shard: i, docs: r}
+		}
+		return out
+	}
+	eq(mergeByID(nil, 0, nil))
+	eq(mergeByID(runs(mk("a", "c")), 0, nil), "a", "c")
+	eq(mergeByID(runs(mk("a", "d"), mk("b", "c", "e")), 0, nil), "a", "b", "c", "d", "e")
+	eq(mergeByID(runs(mk("a", "d"), mk("b", "c", "e")), 3, nil), "a", "b", "c")
 	// A migrating chunk exists on two shards at once: equal ids must
 	// merge to one copy, in every arrangement.
-	eq(mergeByID([][]storage.Document{mk("a", "b"), mk("b", "c")}, 0), "a", "b", "c")
-	eq(mergeByID([][]storage.Document{mk("a", "b", "b2")}, 0), "a", "b", "b2")
-	eq(mergeByID([][]storage.Document{mk("x", "x")}, 0), "x")
+	eq(mergeByID(runs(mk("a", "b"), mk("b", "c")), 0, nil), "a", "b", "c")
+	eq(mergeByID(runs(mk("a", "b", "b2")), 0, nil), "a", "b", "b2")
+	eq(mergeByID(runs(mk("x", "x")), 0, nil), "x")
+}
+
+// TestMergeByIDPrefersOwner: duplicate _ids across shards resolve to
+// the owning shard's copy — the other copy is a migration clone that
+// may be stale — regardless of which run the heap pops first, and
+// even when the duplicate pops after the limit is reached.
+func TestMergeByIDPrefersOwner(t *testing.T) {
+	doc := func(id string, v int64) storage.Document { return storage.D{"_id": id, "v": v} }
+	owner := func(id string) int { return 1 } // shard 1 owns everything
+	find := func(docs []storage.Document, id string) storage.Document {
+		t.Helper()
+		for _, d := range docs {
+			if d.ID() == id {
+				return d
+			}
+		}
+		t.Fatalf("id %s missing from %v", id, docs)
+		return nil
+	}
+	for _, order := range [][]shardRun{
+		{{shard: 0, docs: []storage.Document{doc("a", 1), doc("b", 1)}},
+			{shard: 1, docs: []storage.Document{doc("b", 2), doc("c", 2)}}},
+		{{shard: 1, docs: []storage.Document{doc("b", 2), doc("c", 2)}},
+			{shard: 0, docs: []storage.Document{doc("a", 1), doc("b", 1)}}},
+	} {
+		got := mergeByID(order, 0, owner)
+		if len(got) != 3 {
+			t.Fatalf("merged %d docs, want 3", len(got))
+		}
+		if v := find(got, "b").Int("v"); v != 2 {
+			t.Fatalf("duplicate b resolved to v=%d, want the owner's copy (v=2)", v)
+		}
+	}
+	// Limit hit exactly at the duplicate: the owner's copy must still
+	// displace the stale one before the merge stops.
+	got := mergeByID([]shardRun{
+		{shard: 0, docs: []storage.Document{doc("a", 1), doc("b", 1)}},
+		{shard: 1, docs: []storage.Document{doc("b", 2)}},
+	}, 2, owner)
+	if len(got) != 2 {
+		t.Fatalf("merged %d docs, want 2", len(got))
+	}
+	if v := find(got, "b").Int("v"); v != 2 {
+		t.Fatalf("limit-edge duplicate b resolved to v=%d, want the owner's copy (v=2)", v)
+	}
 }
 
 // scatterCluster loads a 3-shard realtime cluster with docs and
