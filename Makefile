@@ -8,7 +8,7 @@ COUNT ?= 3
 # (report-only) because 1x iterations are throughput noise.
 BENCHGATE_MIN ?= 0.97
 
-.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8
+.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9
 
 all: build test
 
@@ -101,3 +101,19 @@ bench-pr8:
 	$(GO) run ./cmd/benchgate -file BENCH_PR8.json -min-ratio $(BENCHGATE_MIN) -benches BenchmarkShardFor \
 		-scale 'BenchmarkMongosPointReads4/BenchmarkMongosPointReads1>=3.0,BenchmarkScatterFindParallel/BenchmarkScatterFindSequential>=2.5'
 	@cat BENCH_PR8.json
+
+# bench-pr9 runs the PR 9 lease benchmarks: linearizable reads spread
+# across all five leased members must clear 3x the primary-only
+# baseline (a scale gate within the current run), and the unleased
+# wire read path must add zero allocations over
+# bench/baseline_pr9.txt (its throughput ratio is reported but not
+# gated — TestReadConcernUnsetCostsZeroBytes proves the frames are
+# byte-identical when no read concern is set, so a throughput gate
+# would only re-measure runner noise).
+bench-pr9:
+	$(GO) test ./internal/cluster -run '^$$' -bench 'BenchmarkLinearizable' -benchtime $(BENCHTIME) -count $(COUNT) -benchmem > bench/current_pr9.txt
+	$(GO) test ./internal/wire -run '^$$' -bench 'BenchmarkWireConcurrentPointReads' -benchtime $(BENCHTIME) -count $(COUNT) -benchmem >> bench/current_pr9.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr9.txt < bench/current_pr9.txt > BENCH_PR9.json
+	$(GO) run ./cmd/benchgate -file BENCH_PR9.json -min-ratio $(BENCHGATE_MIN) -benches '' -alloc-benches BenchmarkWireConcurrentPointReads \
+		-scale 'BenchmarkLinearizable5Node/BenchmarkLinearizablePrimaryOnly>=3.0'
+	@cat BENCH_PR9.json

@@ -8,11 +8,19 @@
 //     baseline, or when they allocate more per op than the baseline.
 //     This is the PR 7 tracing-overhead budget.
 //
+//   - -alloc-benches (vs baseline): like -benches but only the
+//     allocs/op bound is enforced; the rt/s ratio is printed for the
+//     record. This is the PR 9 unleased-path budget, where the frame
+//     bytes are proven identical by a deterministic test and a
+//     throughput gate would only re-measure runner noise.
+//
 //   - -scale (within current): "A/B>=R" pairs fail when benchmark A's
 //     current rt/s is less than R times benchmark B's. This is the
 //     PR 8 sharding-scale budget (4-shard mongos throughput vs
-//     1-shard, parallel scatter vs sequential), where the claim is a
-//     ratio between two fresh runs rather than a regression bound.
+//     1-shard, parallel scatter vs sequential) and the PR 9
+//     strong-read scaling budget (5-member linearizable throughput vs
+//     primary-only), where the claim is a ratio between two fresh
+//     runs rather than a regression bound.
 //
 // -min-ratio 0 switches to report-only mode for both gates: ratios
 // are printed but nothing fails. CI smoke runs (-benchtime 1x) use
@@ -46,6 +54,8 @@ func main() {
 		"minimum current/baseline rt/s ratio for the gated benchmarks (0 = report only)")
 	benches := flag.String("benches", "BenchmarkWireConcurrentPointReads,BenchmarkWireFindQuery",
 		"comma-separated benchmarks to gate against the baseline (empty disables)")
+	allocBenches := flag.String("alloc-benches", "",
+		"comma-separated benchmarks whose allocs/op must not exceed the baseline; their rt/s ratio is reported but not gated (for paths proven byte-identical by a deterministic test, where a throughput gate only adds runner noise)")
 	scale := flag.String("scale", "",
 		"comma-separated A/B>=R pairs gated within the current section (e.g. BenchmarkFast/BenchmarkSlow>=2.5)")
 	flag.Parse()
@@ -60,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
-	if d.Baseline == nil && *benches != "" {
+	if d.Baseline == nil && (*benches != "" || *allocBenches != "") {
 		fmt.Fprintln(os.Stderr, "benchgate: no baseline section in", *file)
 		os.Exit(1)
 	}
@@ -98,6 +108,35 @@ func main() {
 			status = "report-only"
 		}
 		fmt.Printf("benchgate: %-36s rt/s %9.0f vs %9.0f (x%.3f)  allocs/op %3.0f vs %3.0f  %s\n",
+			name, cur.Metrics["rt/s"], base.Metrics["rt/s"], ratio, curAllocs, baseAllocs, status)
+	}
+	for _, name := range strings.Split(*allocBenches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cur, base := d.Current[name], d.Baseline[name]
+		if cur == nil || base == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s missing from current or baseline\n", name)
+			failed = true
+			continue
+		}
+		ratio := math.NaN()
+		if bv := base.Metrics["rt/s"]; bv > 0 {
+			ratio = cur.Metrics["rt/s"] / bv
+		}
+		curAllocs := math.Round(cur.Metrics["allocs/op"])
+		baseAllocs := math.Round(base.Metrics["allocs/op"])
+		status := "ok"
+		if *minRatio > 0 {
+			if curAllocs > baseAllocs {
+				status = "FAIL allocs (must add zero allocs/op over the baseline)"
+				failed = true
+			}
+		} else {
+			status = "report-only"
+		}
+		fmt.Printf("benchgate: %-36s rt/s %9.0f vs %9.0f (x%.3f, not gated)  allocs/op %3.0f vs %3.0f  %s\n",
 			name, cur.Metrics["rt/s"], base.Metrics["rt/s"], ratio, curAllocs, baseAllocs, status)
 	}
 	for _, pair := range strings.Split(*scale, ",") {

@@ -52,6 +52,10 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle this long (0 disables)")
 	slowOp := flag.Duration("slow-op", 0, "log requests that take at least this long (0 disables)")
 	currentOp := flag.Bool("current-op", true, "maintain the currentOp registry of in-dispatch requests")
+	leases := flag.Bool("linearizable-leases", false,
+		"grant read leases on heartbeats so every member serves linearizable reads locally")
+	leaseDur := flag.Duration("lease-duration", 0,
+		"read/leader lease validity window (0 = 4x the heartbeat interval)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "replsetd: ", log.LstdFlags)
@@ -60,6 +64,8 @@ func main() {
 	cfg.Nodes = *nodes
 	cfg.ReadCost = *readCost
 	cfg.WriteCost = *writeCost
+	cfg.LinearizableLeases = *leases
+	cfg.LeaseDuration = *leaseDur
 	rs := cluster.New(env, cfg)
 	srv := wire.NewServerWith(env, rs, logger, wire.ServerConfig{
 		IdleTimeout:        *idleTimeout,

@@ -102,6 +102,23 @@ type Config struct {
 	// append notification. Used by tests that assert poll-driven
 	// replication timing.
 	DisableTailWake bool
+
+	// LinearizableLeases enables the lease subsystem: a leader lease
+	// held by the primary (renewed piggybacked on heartbeats) and
+	// per-secondary read leases that let a caught-up secondary serve
+	// linearizable reads locally. Off by default — the unleased read
+	// and write paths are byte-identical to the pre-lease engine.
+	LinearizableLeases bool
+	// LeaseDuration is how long a granted lease remains valid on the
+	// holder's local clock. Zero takes 4x HeartbeatInterval, so a
+	// holder survives a few missed renewals before falling back.
+	LeaseDuration time.Duration
+	// LeaseGuardBand is the clock-skew safety margin: holders stop
+	// serving this long before their lease's nominal expiry, and a
+	// failover drain waits this long past the last computed expiry
+	// before the new epoch's leases may be granted. Zero takes
+	// LeaseDuration/8.
+	LeaseGuardBand time.Duration
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -220,6 +237,12 @@ func (c Config) withDefaults() Config {
 		c.RTTJitter = d.RTTJitter
 	} else if c.RTTJitter < 0 {
 		c.RTTJitter = 0
+	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = 4 * c.HeartbeatInterval
+	}
+	if c.LeaseGuardBand == 0 {
+		c.LeaseGuardBand = c.LeaseDuration / 8
 	}
 	if c.OplogHardCap == 0 {
 		c.OplogHardCap = 2 * c.OplogCap // 0 stays 0 (unbounded) when OplogCap is unbounded

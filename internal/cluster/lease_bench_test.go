@@ -1,0 +1,132 @@
+package cluster
+
+// Benchmarks for the PR 9 headline claim: lease-served linearizable
+// reads scale with the member count, because every leased member
+// serves strong reads locally instead of funneling them all through
+// the primary. Both benchmarks run the identical read against the
+// identical five-member set — same simulated service time (ReadCost),
+// same CPU slots per node — so the throughput ratio between them is
+// pure placement: five lease holders versus the one primary. The gate
+// (`make bench-pr9`) requires the spread variant to clear 3x the
+// primary-only baseline.
+//
+// Service time is simulated (a Sleep while the CPU slot is held), so
+// the scaling is visible even on a single-core runner: throughput is
+// bounded by members x CPUSlots / ReadCost, not by host parallelism.
+//
+// Run with:
+//
+//	go test ./internal/cluster -bench BenchmarkLinearizable -benchtime 2s -count 3 -benchmem
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+const (
+	leaseBenchNodes  = 5
+	leaseBenchDocs   = 1024
+	leaseBenchFanout = 64 // parallel clients per GOMAXPROCS
+)
+
+// leaseBenchSet builds a five-member real-time set with leases on and
+// a modeled per-read service time, preloaded with small documents, and
+// waits until the heartbeat path has granted every member its lease.
+func leaseBenchSet(b *testing.B) (*sim.RealtimeEnv, *ReplicaSet) {
+	b.Helper()
+	env := sim.NewRealtimeEnv(9)
+	cfg := zeroCostConfig(4)
+	cfg.Nodes = leaseBenchNodes
+	cfg.ReadCost = 2 * time.Millisecond
+	cfg.HeartbeatInterval = 10 * time.Millisecond
+	cfg.LinearizableLeases = true
+	rs := New(env, cfg)
+	err := rs.Bootstrap(func(s *storage.Store) error {
+		c := s.C("bench")
+		for i := 0; i < leaseBenchDocs; i++ {
+			if err := c.Insert(storage.D{"_id": benchDocID(i), "val": int64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leased := 0
+		for id := 0; id < cfg.Nodes; id++ {
+			if rs.Leased(id) {
+				leased++
+			}
+		}
+		if leased == cfg.Nodes {
+			return env, rs
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d/%d members leased", leased, cfg.Nodes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// benchLinearizable drives closed-loop linearizable point reads. With
+// spread on, clients round-robin across all five members (the lease
+// path); off, every read is pinned to the primary (the baseline every
+// strong read took before leases). A lease rejection falls back to the
+// primary exactly as the driver does — rare renewals races must not
+// abort the run, and mass fallback shows up in the gated ratio anyway.
+func benchLinearizable(b *testing.B, spread bool) {
+	env, rs := leaseBenchSet(b)
+	defer env.Shutdown()
+	primary := rs.PrimaryID()
+	read := func(id string) func(v ReadView) (any, error) {
+		return func(v ReadView) (any, error) {
+			if _, ok := v.FindByID("bench", id); !ok {
+				return nil, errors.New("bench: missing doc")
+			}
+			return nil, nil
+		}
+	}
+	var seed atomic.Int64
+	b.SetParallelism(leaseBenchFanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := env.Adhoc("bench-lin-reader")
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		node := primary
+		next := rng.Intn(leaseBenchNodes)
+		for pb.Next() {
+			if spread {
+				node = next % leaseBenchNodes
+				next++
+			}
+			body := read(benchDocID(rng.Intn(leaseBenchDocs)))
+			_, _, err := rs.ExecReadLinearizable(p, node, body)
+			if _, rejected := LeaseReject(err); rejected {
+				_, _, err = rs.ExecReadLinearizable(p, rs.PrimaryID(), body)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rt/s")
+}
+
+// BenchmarkLinearizable5Node spreads linearizable reads across all
+// five leased members — the PR 9 strong-read scaling number.
+func BenchmarkLinearizable5Node(b *testing.B) { benchLinearizable(b, true) }
+
+// BenchmarkLinearizablePrimaryOnly pins every linearizable read to the
+// primary — the pre-lease baseline the 5-node number is gated against.
+func BenchmarkLinearizablePrimaryOnly(b *testing.B) { benchLinearizable(b, false) }

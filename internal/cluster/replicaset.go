@@ -29,6 +29,7 @@ type ReplicaSet struct {
 	realtime bool
 	tracer   *trace.Recorder
 	audit    *freshnessAuditor
+	leases   *leaseManager
 
 	// primaryID is atomic rather than mutexed because the read hot
 	// path now consults it on every operation (the freshness auditor
@@ -47,6 +48,7 @@ func New(env sim.Env, cfg Config) *ReplicaSet {
 	rs.tracer = trace.NewRecorder(env.NewRand("trace"), trace.Config{Rings: cfg.Nodes + 1})
 	rs.tracer.Register(rs.metrics)
 	rs.audit = newFreshnessAuditor(rs.metrics)
+	rs.leases = newLeaseManager(rs)
 	for i := 0; i < cfg.Nodes; i++ {
 		zone := cfg.Zones[i%len(cfg.Zones)]
 		rs.nodes = append(rs.nodes, newNode(rs, i, zone))
@@ -276,13 +278,19 @@ type MemberStatus struct {
 	// queried node — possibly stale knowledge, which is exactly the
 	// conservative error model of §2.3.
 	Applied oplog.OpTime
+	// Leased reports whether the member held a valid lease (leader
+	// lease for the primary, read lease otherwise) at snapshot time —
+	// the signal the driver's Linearizable server selection routes on.
+	Leased bool
 }
 
 // Status is a serverStatus response from one node.
 type Status struct {
 	From    int
 	Primary int
-	Members []MemberStatus
+	// LeaseEpoch is the current lease epoch (0 = leases disabled).
+	LeaseEpoch uint64
+	Members    []MemberStatus
 }
 
 // OK reports whether the status actually came back from a live node.
@@ -345,9 +353,11 @@ func (n *Node) statusSnapshot() Status {
 	// Read the primary id through its own lock before taking n.mu so the
 	// two locks never nest (replica set → node is the only legal order).
 	primary := n.rs.PrimaryID()
+	// Lease state reads only leaseManager atomics — safe under n.mu.
+	leases := n.rs.leases
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	st := Status{From: n.ID, Primary: primary}
+	st := Status{From: n.ID, Primary: primary, LeaseEpoch: leases.epochValue()}
 	for id := range n.known {
 		applied := n.known[id]
 		if id == n.ID {
@@ -357,6 +367,7 @@ func (n *Node) statusSnapshot() Status {
 			ID:      id,
 			Primary: id == primary,
 			Applied: applied,
+			Leased:  leases.holds(id, primary),
 		})
 	}
 	return st
@@ -384,6 +395,11 @@ func (rs *ReplicaSet) Failover(p sim.Proc) int {
 		return oldID
 	}
 	winner := rs.nodes[best]
+	// Lease drain, part 1: bump the epoch and stop all grants NOW, so
+	// the outstanding leases' expiries (computed below) are final and
+	// the drain overlaps the catch-up work. No new-epoch lease can
+	// exist until endTransfer reopens grants after the primary flip.
+	drainUntil := rs.leases.beginTransfer(best)
 	// Catch-up: copy and apply the entries the winner is missing. The
 	// scan only reads the old primary's oplog, so the read lock is
 	// enough; reads there keep flowing during the election. The batch
@@ -421,7 +437,19 @@ func (rs *ReplicaSet) Failover(p sim.Proc) int {
 	winner.mu.Unlock()
 	winner.applyMu.Unlock()
 	winner.applyGate.Broadcast()
+	// Lease drain, part 2: before the new primary takes over, wait out
+	// every lease granted under the old regime — the deposed primary's
+	// leader lease and all read leases, translated from their holders'
+	// (possibly skewed) clocks — plus one guard band. Only then is it
+	// impossible for any node to serve a linearizable read against
+	// pre-transfer state once the new primary accepts writes.
+	if rs.leases.enabled {
+		if wait := drainUntil + rs.cfg.LeaseGuardBand - p.Now(); wait > 0 {
+			p.Sleep(wait)
+		}
+	}
 	rs.primaryID.Store(int32(best))
+	rs.leases.endTransfer(oldID)
 	return best
 }
 

@@ -358,13 +358,31 @@ func (n *Node) truncateSecondaryLocked() {
 }
 
 // heartbeatLoop gossips n's lastApplied to m every HeartbeatInterval;
-// the value in flight ages by one network traversal.
+// the value in flight ages by one network traversal. When leases are
+// enabled and n is the live primary, each heartbeat also carries a
+// read-lease grant: the send time (captured BEFORE the traversal, so
+// the leader-lease window is anchored conservatively) and the majority
+// commit point observed at send time. The grant lands only if both
+// ends are still up and n still holds primacy on arrival — and the
+// lease manager re-verifies both drain state and primacy under its own
+// lock, so a deposed primary's in-flight heartbeat can never mint a
+// new-epoch lease.
 func (n *Node) heartbeatLoop(p sim.Proc, m *Node) {
 	rs := n.rs
 	for {
 		ts := n.LastApplied()
+		grant := rs.leases.enabled && !n.Down() && rs.PrimaryID() == n.ID
+		var sendAt time.Duration
+		var commit oplog.OpTime
+		if grant {
+			sendAt = p.Now()
+			commit = n.MajorityCommitPoint()
+		}
 		rs.net.Travel(p, n.Zone, m.Zone)
 		m.setKnown(n.ID, ts)
+		if grant && !m.Down() {
+			rs.leases.grant(n.ID, m.ID, sendAt, commit)
+		}
 		p.Sleep(rs.cfg.HeartbeatInterval)
 	}
 }

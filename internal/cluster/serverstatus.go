@@ -30,6 +30,7 @@ func (rs *ReplicaSet) registerStatusCollector() {
 		state      *obs.Gauge
 		optimeSecs *obs.Gauge
 		lagSecs    *obs.Gauge
+		leased     *obs.Gauge
 		queueDepth *obs.Gauge
 		cpuInUse   *obs.Gauge
 	}
@@ -40,6 +41,7 @@ func (rs *ReplicaSet) registerStatusCollector() {
 			state:      reg.Gauge(obs.Name("replstatus.state", "node", node)),
 			optimeSecs: reg.Gauge(obs.Name("replstatus.optime_secs", "node", node)),
 			lagSecs:    reg.Gauge(obs.Name("replstatus.lag_secs", "node", node)),
+			leased:     reg.Gauge(obs.Name("replstatus.leased", "node", node)),
 			queueDepth: reg.Gauge(obs.Name("status.queue_depth", "node", node)),
 			cpuInUse:   reg.Gauge(obs.Name("status.cpu_in_use", "node", node)),
 		}
@@ -73,6 +75,11 @@ func (rs *ReplicaSet) registerStatusCollector() {
 			ng[i].state.Set(state)
 			ng[i].optimeSecs.Set(applied.Secs)
 			ng[i].lagSecs.Set(primaryTS.LagSeconds(applied))
+			var leased int64
+			if rs.leases.holds(i, primaryID) {
+				leased = 1
+			}
+			ng[i].leased.Set(leased)
 			ng[i].queueDepth.Set(int64(n.QueueDepth()))
 			ng[i].cpuInUse.Set(int64(n.cpu.InUse()))
 		}

@@ -76,6 +76,12 @@ func (rs *ReplicaSet) ExecWriteConcernMeta(p sim.Proc, wc WriteConcern, meta Rea
 		waitStart = p.Now()
 	}
 	rs.Primary().awaitMajorityKnown(p, commit)
+	// Leaseholder barrier (no-op when leases are off): a majority ack
+	// is not enough once secondaries serve linearizable reads — every
+	// live read lease must also cover the commit (by application or by
+	// renewal) before the write is acknowledged, or a leased secondary
+	// outside the majority could serve a linearizable read missing it.
+	rs.leases.awaitLeaseholders(p, commit)
 	if live {
 		rs.tracer.Record(trace.Span{
 			Trace:  meta.Ctx.TraceID,

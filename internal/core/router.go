@@ -8,6 +8,7 @@ import (
 
 	"decongestant/internal/cluster"
 	"decongestant/internal/driver"
+	"decongestant/internal/obs"
 	"decongestant/internal/obs/trace"
 	"decongestant/internal/sim"
 )
@@ -26,6 +27,7 @@ type Router struct {
 	rng      *rand.Rand
 	nPrimary int64
 	nSecond  int64
+	lin      linRing
 }
 
 // NewRouter creates a router bound to a balancer and driver client.
@@ -143,6 +145,157 @@ func (r *Router) ReadTraced(p sim.Proc, fn func(v cluster.ReadView) (any, error)
 	}
 	r.mu.Unlock()
 	return res, pref, lat, tctx.TraceID, nil
+}
+
+// LinDecision records one linearizable routing outcome: where the read
+// was actually served and why — "lease-valid" when a leased member
+// answered locally, "primary" for the unleased majority-confirm
+// baseline, and the "→primary" forms when a lease rejection redirected
+// the read (the reason names what the first member rejected with).
+type LinDecision struct {
+	At     time.Duration
+	Node   int
+	Reason string
+	Lat    time.Duration
+}
+
+// linDecisionCap bounds the retained linearizable routing trace.
+const linDecisionCap = 512
+
+// linRing is a fixed-capacity ring of recent linearizable decisions,
+// mirroring decisionRing for the lease-routing path.
+type linRing struct {
+	buf  []LinDecision
+	next int
+	n    int
+}
+
+func (r *linRing) add(d LinDecision) {
+	if r.buf == nil {
+		r.buf = make([]LinDecision, linDecisionCap)
+	}
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+func (r *linRing) list() []LinDecision {
+	out := make([]LinDecision, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// ReadLinearizable routes one linearizable read across the replica
+// set's lease holders: the driver picks among leased members (primary
+// always eligible) using the same latency window the balancer's RTT
+// pinger feeds, and falls back to the primary on a lease rejection.
+// The observed latency is filed with the Balancer under the role that
+// actually served — a leased secondary's local strong read counts as
+// secondary capacity, exactly like a balanced stale read — and the
+// routing reason is returned, counted, and kept in the decision ring.
+func (r *Router) ReadLinearizable(p sim.Proc, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, string, error) {
+	res, node, lat, reason, _, err := r.ReadLinearizableTraced(p, fn)
+	return res, node, lat, reason, err
+}
+
+// ReadLinearizableTraced is ReadLinearizable plus the trace id it ran
+// under (0 when unsampled). A sampled linearizable read mirrors the
+// balanced-read span tree: a balancer.decision child records the
+// routing mode and balancer state, the route snapshot rides the wire
+// for slow-op attribution (the driver rewrites its reason on a lease
+// fallback so the primary's slow-op log names the redirected hop), and
+// a router.read root span closes over the serving node and final
+// reason.
+func (r *Router) ReadLinearizableTraced(p sim.Proc, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, string, uint64, error) {
+	tracer := r.client.Tracer()
+	tctx := tracer.StartTrace()
+	child := tctx
+	var start time.Duration
+	if tctx.Live() {
+		start = p.Now()
+		rootID := tracer.NewSpanID()
+		staleSecs := r.balancer.MaxStaleness()
+		fracPct := r.balancer.FractionPct()
+		gated := r.balancer.Gated()
+		tracer.Record(trace.Span{
+			Trace:  tctx.TraceID,
+			ID:     tracer.NewSpanID(),
+			Parent: rootID,
+			Name:   "balancer.decision",
+			Node:   -1,
+			Start:  start,
+			Attrs: []trace.Attr{
+				{K: "pref", V: driver.Linearizable.String()},
+				{K: "reason", V: "lease-routing"},
+				{K: "frac_pct", V: strconv.Itoa(fracPct)},
+				{K: "stale_secs", V: strconv.FormatInt(staleSecs, 10)},
+				{K: "gated", V: strconv.FormatBool(gated)},
+			},
+		})
+		child = trace.Context{
+			TraceID: tctx.TraceID,
+			SpanID:  rootID,
+			Route: &trace.Route{
+				Pref:      driver.Linearizable.String(),
+				Reason:    "lease-routing",
+				FracPct:   fracPct,
+				StaleSecs: staleSecs,
+				Gated:     gated,
+			},
+		}
+	}
+	res, node, lat, reason, err := r.client.ReadLinearizableTraced(p, driver.ReadOptions{}, child, fn)
+	if tctx.Live() {
+		tracer.Record(trace.Span{
+			Trace: tctx.TraceID,
+			ID:    child.SpanID,
+			Name:  "router.read",
+			Node:  -1,
+			Start: start,
+			Dur:   p.Now() - start,
+			Attrs: []trace.Attr{
+				{K: "pref", V: driver.Linearizable.String()},
+				{K: "node", V: strconv.Itoa(node)},
+				{K: "reason", V: reason},
+			},
+		})
+	}
+	if reason != "" {
+		r.client.Metrics().Counter(obs.Name("router.linearizable", "reason", reason)).Inc(1)
+	}
+	if err != nil {
+		return nil, node, lat, reason, tctx.TraceID, err
+	}
+	rolePref := driver.Secondary
+	if node == r.client.Conn().PrimaryID() {
+		rolePref = driver.Primary
+	}
+	r.balancer.Record(rolePref, lat)
+	r.mu.Lock()
+	if rolePref == driver.Secondary {
+		r.nSecond++
+	} else {
+		r.nPrimary++
+	}
+	r.lin.add(LinDecision{At: p.Now(), Node: node, Reason: reason, Lat: lat})
+	r.mu.Unlock()
+	return res, node, lat, reason, tctx.TraceID, nil
+}
+
+// LinearizableDecisions returns the retained linearizable routing
+// outcomes, oldest first — at most linDecisionCap entries.
+func (r *Router) LinearizableDecisions() []LinDecision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lin.list()
 }
 
 // Write forwards a write transaction to the primary via the driver.

@@ -41,6 +41,11 @@ const (
 	SecondaryPreferred
 	// Nearest routes to the lowest-latency member regardless of role.
 	Nearest
+	// Linearizable routes strong reads across every lease-holding
+	// member (leader-leased primary and read-leased secondaries) within
+	// the latency window. A member that cannot honor its lease rejects
+	// with a retryable error and the read falls back to the primary.
+	Linearizable
 )
 
 func (r ReadPref) String() string {
@@ -55,6 +60,8 @@ func (r ReadPref) String() string {
 		return "secondaryPreferred"
 	case Nearest:
 		return "nearest"
+	case Linearizable:
+		return "linearizable"
 	}
 	return fmt.Sprintf("ReadPref(%d)", int(r))
 }
@@ -75,6 +82,10 @@ var ErrNoEligibleServer = errors.New("driver: no server satisfies the read prefe
 
 // ErrMaxStalenessTooSmall is returned for 0 < maxStalenessSeconds < 90.
 var ErrMaxStalenessTooSmall = fmt.Errorf("driver: maxStalenessSeconds must be >= %d", SmallestMaxStalenessSeconds)
+
+// ErrNoLinearizable is returned when the connection lacks the
+// LinearizableConn capability.
+var ErrNoLinearizable = errors.New("driver: connection does not support linearizable reads")
 
 // ReadOptions carries per-read routing options.
 type ReadOptions struct {
@@ -121,6 +132,17 @@ type TraceProvider interface {
 	Tracer() *trace.Recorder
 }
 
+// LinearizableConn is the optional connection capability backing
+// lease-based linearizable reads (cluster.ExecReadLinearizableMeta):
+// the primary serves under its leader lease or a majority-confirm
+// round, a secondary from a valid read lease, rejecting with a typed
+// *cluster.LeaseError otherwise. Both the in-process replica set and
+// the wire client implement it.
+type LinearizableConn interface {
+	Conn
+	ExecReadLinearizableMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta cluster.ReadMeta, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error)
+}
+
 // OplogTailer is the optional change-feed capability: scan the
 // primary's oplog after an OpTime, returning decoded entries plus the
 // primary's lastApplied and the log's truncation horizon (see
@@ -134,9 +156,10 @@ type OplogTailer interface {
 // Statically assert the in-process replica set satisfies Conn and the
 // trace capabilities.
 var (
-	_ Conn          = (*clusterConn)(nil)
-	_ TracedConn    = (*clusterConn)(nil)
-	_ TraceProvider = (*clusterConn)(nil)
+	_ Conn             = (*clusterConn)(nil)
+	_ TracedConn       = (*clusterConn)(nil)
+	_ TraceProvider    = (*clusterConn)(nil)
+	_ LinearizableConn = (*clusterConn)(nil)
 )
 
 type clusterConn struct{ *cluster.ReplicaSet }
@@ -163,7 +186,7 @@ type Client struct {
 	tracer *trace.Recorder
 
 	// Cached registry instruments (atomic; no lock needed).
-	obsSelections  [5]*obs.Counter // indexed by ReadPref
+	obsSelections  [6]*obs.Counter // indexed by ReadPref
 	obsNoEligible  *obs.Counter
 	obsFallbacks   *obs.Counter
 	obsRTTSkips    *obs.Counter
@@ -194,7 +217,7 @@ func NewClient(env sim.Env, conn Conn) *Client {
 	} else {
 		c.tracer = trace.NewRecorder(env.NewRand("driver-trace"), trace.Config{})
 	}
-	for pref := Primary; pref <= Nearest; pref++ {
+	for pref := Primary; pref <= Linearizable; pref++ {
 		c.obsSelections[pref] = reg.Counter(obs.Name("driver.selections", "pref", pref.String()))
 	}
 	c.obsNoEligible = reg.Counter("driver.no_eligible_server")
@@ -305,9 +328,45 @@ func (c *Client) SelectServer(opts ReadOptions) (int, error) {
 		return primary, nil
 	case Nearest:
 		return c.pickWithinWindow(append(secondaries, primary)), nil
+	case Linearizable:
+		// Route across the members the monitor last saw holding leases,
+		// always keeping the primary eligible (it can serve any strong
+		// read, leased or not). The view may be stale — a member that
+		// lost its lease since simply rejects and the read falls back.
+		cands := c.leasedCandidates()
+		havePrimary := false
+		for _, id := range cands {
+			if id == primary {
+				havePrimary = true
+				break
+			}
+		}
+		if !havePrimary {
+			cands = append(cands, primary)
+		}
+		return c.pickWithinWindow(cands), nil
 	default:
 		return 0, fmt.Errorf("driver: unknown read preference %v", opts.Pref)
 	}
+}
+
+// leasedCandidates returns the node ids the latest topology snapshot
+// reported as lease holders (empty when leases are off or no snapshot
+// has arrived yet).
+func (c *Client) leasedCandidates() []int {
+	c.mu.Lock()
+	st := c.lastStat
+	c.mu.Unlock()
+	if st == nil || st.LeaseEpoch == 0 {
+		return nil
+	}
+	var out []int
+	for _, m := range st.Members {
+		if m.Leased {
+			out = append(out, m.ID)
+		}
+	}
+	return out
 }
 
 func (c *Client) filterByStaleness(ids []int, bound int64) []int {
@@ -457,4 +516,111 @@ func (c *Client) Write(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (a
 	start := p.Now()
 	res, err := c.conn.ExecWrite(p, fn)
 	return res, p.Now() - start, err
+}
+
+// Linearizable routing reasons, as surfaced to the balancer's decision
+// ring and the slow-op log. "lease-valid" means a leased member served
+// the read locally; the "→primary" forms attribute the extra hop a
+// lease rejection caused.
+const (
+	RouteLeaseValid = "lease-valid"
+	RoutePrimary    = "primary" // unleased primary served (majority-confirm baseline)
+)
+
+// ReadLinearizable selects a lease-holding member and runs a
+// linearizable read there, falling back to the primary on a lease
+// rejection. It returns the body result, the serving node, the
+// end-to-end latency, and the routing reason ("lease-valid",
+// "lease-expired→primary", "commit-point-behind→primary", ...).
+func (c *Client) ReadLinearizable(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, string, error) {
+	res, node, _, lat, reason, err := c.readLinearizable(p, opts, c.tracer.StartTrace(), oplog.Zero, fn)
+	return res, node, lat, reason, err
+}
+
+// ReadLinearizableTraced is ReadLinearizable under an externally
+// originated trace context (the core router passes one carrying its
+// routing decision).
+func (c *Client) ReadLinearizableTraced(p sim.Proc, opts ReadOptions, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, string, error) {
+	res, node, _, lat, reason, err := c.readLinearizable(p, opts, tctx, oplog.Zero, fn)
+	return res, node, lat, reason, err
+}
+
+// readLinearizable is the shared linearizable read path: select a
+// lease holder, execute, and on a typed lease rejection (or a down
+// node) retry at the primary — attributing WHY the read was redirected
+// through driver.lease_fallbacks{reason}, the driver.read span's
+// reason attribute, and the returned reason string, so currentOp and
+// the slow-op log can explain the extra hop. `after` is the session's
+// causal token (read-your-writes composes with linearizable reads).
+func (c *Client) readLinearizable(p sim.Proc, opts ReadOptions, tctx trace.Context, after oplog.OpTime, fn func(v cluster.ReadView) (any, error)) (any, int, oplog.OpTime, time.Duration, string, error) {
+	lc, ok := c.conn.(LinearizableConn)
+	if !ok {
+		return nil, -1, oplog.Zero, 0, "", ErrNoLinearizable
+	}
+	opts.Pref = Linearizable
+	nodeID, err := c.SelectServer(opts)
+	if err != nil {
+		return nil, -1, oplog.Zero, 0, "", err
+	}
+	var spanID uint64
+	if tctx.Live() {
+		spanID = c.tracer.NewSpanID()
+	}
+	meta := cluster.ReadMeta{
+		Ctx:       trace.Context{TraceID: tctx.TraceID, SpanID: spanID, Route: tctx.Route},
+		BoundSecs: opts.AuditBoundSecs,
+	}
+	start := p.Now()
+	res, ts, err := lc.ExecReadLinearizableMeta(p, nodeID, after, meta, fn)
+	reason := RouteLeaseValid
+	if nodeID == c.conn.PrimaryID() {
+		reason = RoutePrimary
+	}
+	// Fallback: a lease rejection or a down member redirects to the
+	// primary (twice at most — a failover between attempts moves the
+	// primary once). The rejection reason is preserved end to end.
+	for attempt := 0; attempt < 2 && err != nil; attempt++ {
+		why, isLease := cluster.LeaseReject(err)
+		if !isLease {
+			if !errors.Is(err, cluster.ErrNodeDown) {
+				break
+			}
+			why = "node-down"
+		}
+		primary := c.conn.PrimaryID()
+		if nodeID == primary {
+			break // the primary itself rejected; nothing further to try
+		}
+		c.obsFallbacks.Inc(1)
+		c.reg.Counter(obs.Name("driver.lease_fallbacks", "reason", why)).Inc(1)
+		reason = why + "→primary"
+		// Rewrite the route snapshot riding the wire so the primary's
+		// slow-op log and currentOp attribute the redirected hop to its
+		// cause, not to the original routing choice.
+		if meta.Ctx.Route != nil {
+			rt := *meta.Ctx.Route
+			rt.Reason = reason
+			meta.Ctx.Route = &rt
+		}
+		nodeID = primary
+		res, ts, err = lc.ExecReadLinearizableMeta(p, nodeID, after, meta, fn)
+	}
+	lat := p.Now() - start
+	if tctx.Live() {
+		c.tracer.Record(trace.Span{
+			Trace:  tctx.TraceID,
+			ID:     spanID,
+			Parent: tctx.SpanID,
+			Name:   "driver.read",
+			Node:   -1,
+			Start:  start,
+			Dur:    lat,
+			Attrs: []trace.Attr{
+				{K: "pref", V: Linearizable.String()},
+				{K: "node", V: strconv.Itoa(nodeID)},
+				{K: "reason", V: reason},
+			},
+		})
+	}
+	return res, nodeID, ts, lat, reason, err
 }

@@ -125,6 +125,20 @@ func (s *Session) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView)
 	return res, nodeID, p.Now() - start, err
 }
 
+// ReadLinearizable routes a linearizable read across lease-holding
+// members, threading the session's operationTime as the causal
+// prerequisite — read-your-writes composes with linearizability, so a
+// leased secondary first waits for the session's token, then serves
+// under its lease. The token advances to the serving node's applied
+// time. Returns the routing reason alongside the usual results.
+func (s *Session) ReadLinearizable(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, string, error) {
+	res, node, ts, lat, reason, err := s.client.readLinearizable(p, opts, s.client.tracer.StartTrace(), s.opTime, fn)
+	if err == nil {
+		s.advance(ts)
+	}
+	return res, node, lat, reason, err
+}
+
 // Write runs a write transaction and advances the session token to its
 // commit time, so subsequent session reads (anywhere) observe it.
 func (s *Session) Write(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, time.Duration, error) {

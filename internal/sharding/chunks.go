@@ -131,10 +131,10 @@ func (m *ChunkMap) move(min string, to int) *ChunkMap {
 // cache and retry; the retry count is bounded and surfaced through
 // the sharding.stale_chunk_retries counter.
 type StaleChunkError struct {
-	Key         string
+	Key          string
 	PlannedShard int
-	OwnerShard  int
-	Version     uint64
+	OwnerShard   int
+	Version      uint64
 }
 
 func (e *StaleChunkError) Error() string {
@@ -270,6 +270,30 @@ func (a *ChunkAuthority) Enter(p sim.Proc, key string, shard int, write bool) (l
 		a.mu.Unlock()
 		return lease{a: a, k: k}, nil
 	}
+}
+
+// enterScatter atomically snapshots the current table and registers
+// one in-flight read entry per chunk on its owning shard. A scatter
+// that plans per-shard work against the snapshot is thereby visible to
+// migration's post-flip reader drain: cleanup cannot delete a moved
+// range until every scatter that snapshotted the pre-move table has
+// finished against the intact source copy. The snapshot and the
+// registration share one mu hold — the same lock commitMove publishes
+// under — so a flip cannot slip between them; and because post-flip
+// scatters register the moved range on its new owner, the drain is
+// never starved by a steady stream of scatters. Release every lease
+// when the scatter completes.
+func (a *ChunkAuthority) enterScatter() (*ChunkMap, []lease) {
+	a.mu.Lock()
+	m := a.cur.Load()
+	leases := make([]lease, 0, len(m.Chunks))
+	for _, ck := range m.Chunks {
+		k := inflightKey{min: ck.Min, max: ck.Max, shard: ck.Shard}
+		a.inflight[k]++
+		leases = append(leases, lease{a: a, k: k})
+	}
+	a.mu.Unlock()
+	return m, leases
 }
 
 // Split splits the chunk containing key at key. Ownership is

@@ -223,9 +223,35 @@ func (r *Router) ScatterCountOpts(p sim.Proc, collection string, f storage.Filte
 
 func (r *Router) scatterCount(p sim.Proc, tctx trace.Context, collection string, f storage.Filter, opts ScatterOptions) (int, error) {
 	r.noteCollection(collection)
+	// In chunk mode each shard counts only the ranges it owns under ONE
+	// authoritative table snapshot, so a migrating range — transiently
+	// present on both source and destination — is counted exactly once.
+	// Registration precedes the snapshot: cleanup of a just-moved range
+	// drains these entries first, so the copy being counted stays
+	// intact. A filter already constraining _id keeps the plain path
+	// (the bound below would clobber the caller's condition).
+	var table *ChunkMap
+	if _, hasID := f["_id"]; !hasID && r.auth != nil {
+		var guards []lease
+		table, guards = r.auth.enterScatter()
+		defer func() {
+			for _, g := range guards {
+				g.release()
+			}
+		}()
+	}
 	parts := r.scatter(p, tctx, "count", func(p sim.Proc, shard int) shardPart {
 		res, _, _, err := r.systems[shard].Router.Read(p, func(v cluster.ReadView) (any, error) {
-			return v.Count(collection, f), nil
+			if table == nil {
+				return v.Count(collection, f), nil
+			}
+			n := 0
+			for _, ck := range table.Chunks {
+				if ck.Shard == shard {
+					n += chunkCount(v, collection, f, ck)
+				}
+			}
+			return n, nil
 		})
 		if err != nil {
 			return shardPart{err: err}
@@ -243,6 +269,37 @@ func (r *Router) scatterCount(p sim.Proc, tctx trace.Context, collection string,
 		return total, perr
 	}
 	return total, nil
+}
+
+// chunkCount counts the f-matching documents inside [ck.Min, ck.Max)
+// under one read view. Filters carry at most one condition per field,
+// so the half-open range is the difference of two lower-bounded
+// counts: N(_id >= Min) - N(_id >= Max). Both scans run against the
+// same view; the clamp guards the remote view, whose two counts are
+// separate wire reads and may straddle a concurrent write.
+func chunkCount(v cluster.ReadView, collection string, f storage.Filter, ck Chunk) int {
+	n := v.Count(collection, withIDBound(f, ck.Min))
+	if ck.Max != "" {
+		n -= v.Count(collection, withIDBound(f, ck.Max))
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// withIDBound returns f with an added _id >= min condition ("" means
+// -inf: f is returned unchanged).
+func withIDBound(f storage.Filter, min string) storage.Filter {
+	if min == "" {
+		return f
+	}
+	out := make(storage.Filter, len(f)+1)
+	for k, c := range f {
+		out[k] = c
+	}
+	out["_id"] = storage.Gte(min)
+	return out
 }
 
 func sorted(docs []storage.Document) bool {

@@ -28,7 +28,11 @@ func (b *rsBackend) Tracer() *trace.Recorder { return b.rs.Tracer() }
 // staleness on secondary-served reads.
 func (b *rsBackend) execRead(p sim.Proc, req *Request, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
 	after := oplog.OpTime{Secs: req.AfterSecs, Inc: req.AfterInc}
-	return b.rs.ExecReadMeta(p, req.Node, after, cluster.ReadMeta{Ctx: tctx, BoundSecs: req.BoundSecs}, fn)
+	meta := cluster.ReadMeta{Ctx: tctx, BoundSecs: req.BoundSecs}
+	if req.ReadConcern == RCLinearizable {
+		return b.rs.ExecReadLinearizableMeta(p, req.Node, after, meta, fn)
+	}
+	return b.rs.ExecReadMeta(p, req.Node, after, meta, fn)
 }
 
 // Dispatch implements Backend for a replica set.
@@ -36,6 +40,12 @@ func (b *rsBackend) Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.C
 	resp := &Response{}
 	fail := func(err error) *Response {
 		resp.Err = err.Error()
+		// A lease rejection is a typed retryable error: code it so the
+		// remote driver falls back to the primary exactly like the
+		// in-process one (the reason rides in the message).
+		if _, ok := cluster.LeaseReject(err); ok {
+			resp.Code = CodeNotLeased
+		}
 		return resp
 	}
 	if req.Node < 0 || req.Node >= len(b.rs.NodeIDs()) {
@@ -59,10 +69,11 @@ func (b *rsBackend) Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.C
 		}
 	case OpStatus:
 		st := b.rs.ServerStatus(p, req.Node)
-		body := &StatusBody{From: st.From, Primary: st.Primary}
+		body := &StatusBody{From: st.From, Primary: st.Primary, LeaseEpoch: st.LeaseEpoch}
 		for _, m := range st.Members {
 			body.Members = append(body.Members, Member{
 				ID: m.ID, Primary: m.Primary, Secs: m.Applied.Secs, Inc: m.Applied.Inc,
+				Leased: m.Leased,
 			})
 		}
 		resp.Status = body

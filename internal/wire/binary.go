@@ -26,23 +26,24 @@ var errBadFrame = errors.New("wire: corrupt binary frame")
 
 // Request field tags.
 const (
-	rqID         = 1  // uvarint
-	rqOpCode     = 2  // byte, from opCodes
-	rqOpName     = 3  // string, for ops outside the table
-	rqNode       = 4  // varint
-	rqCollection = 5  // string
-	rqDocID      = 6  // string
-	rqIDs        = 7  // uvarint count + strings
-	rqFilter     = 8  // see appendFilter
-	rqLimit      = 9  // varint
-	rqMuts       = 10 // uvarint count + mutations
-	rqAfterSecs  = 11 // varint
-	rqAfterInc   = 12 // uvarint
-	rqSource     = 13 // string
-	rqSnapshot   = 14 // uvarint length + JSON bytes
-	rqTrace      = 15 // see appendTraceContext
-	rqBound      = 16 // varint audited staleness bound, seconds
-	rqSpans      = 17 // uvarint length + JSON bytes (trace_push payload)
+	rqID          = 1  // uvarint
+	rqOpCode      = 2  // byte, from opCodes
+	rqOpName      = 3  // string, for ops outside the table
+	rqNode        = 4  // varint
+	rqCollection  = 5  // string
+	rqDocID       = 6  // string
+	rqIDs         = 7  // uvarint count + strings
+	rqFilter      = 8  // see appendFilter
+	rqLimit       = 9  // varint
+	rqMuts        = 10 // uvarint count + mutations
+	rqAfterSecs   = 11 // varint
+	rqAfterInc    = 12 // uvarint
+	rqSource      = 13 // string
+	rqSnapshot    = 14 // uvarint length + JSON bytes
+	rqTrace       = 15 // see appendTraceContext
+	rqBound       = 16 // varint audited staleness bound, seconds
+	rqSpans       = 17 // uvarint length + JSON bytes (trace_push payload)
+	rqReadConcern = 18 // varint read concern (see the RC constants)
 )
 
 // Response field tags.
@@ -342,6 +343,10 @@ func encodeRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(len(body)))
 		dst = append(dst, body...)
 	}
+	if r.ReadConcern != 0 {
+		dst = binary.AppendUvarint(dst, rqReadConcern)
+		dst = binary.AppendVarint(dst, int64(r.ReadConcern))
+	}
 	return dst, nil
 }
 
@@ -451,6 +456,11 @@ func decodeRequest(b []byte, r *Request) error {
 				return fmt.Errorf("wire: unmarshal spans: %w", err)
 			}
 			r.Spans = spans
+		case rqReadConcern:
+			var v int64
+			if v, b, err = getVarint(b); err == nil {
+				r.ReadConcern = int(v)
+			}
 		default:
 			return fmt.Errorf("%w: request tag %d", errBadFrame, tag)
 		}
@@ -674,14 +684,19 @@ func encodeResponse(dst []byte, r *Response) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, rsStatus)
 		dst = binary.AppendVarint(dst, int64(r.Status.From))
 		dst = binary.AppendVarint(dst, int64(r.Status.Primary))
+		dst = binary.AppendUvarint(dst, r.Status.LeaseEpoch)
 		dst = binary.AppendUvarint(dst, uint64(len(r.Status.Members)))
 		for _, m := range r.Status.Members {
 			dst = binary.AppendVarint(dst, int64(m.ID))
+			// One flag byte per member: bit 0 primary, bit 1 leased.
+			var flags byte
 			if m.Primary {
-				dst = append(dst, 1)
-			} else {
-				dst = append(dst, 0)
+				flags |= 1
 			}
+			if m.Leased {
+				flags |= 2
+			}
+			dst = append(dst, flags)
 			dst = binary.AppendVarint(dst, m.Secs)
 			dst = binary.AppendUvarint(dst, uint64(m.Inc))
 		}
@@ -858,11 +873,14 @@ func decodeResponse(b []byte, r *Response) error {
 				return err
 			}
 			st.Primary = int(v)
+			if st.LeaseEpoch, b, err = getUvarint(b); err != nil {
+				return err
+			}
 			var n uint64
 			if n, b, err = getUvarint(b); err != nil {
 				return err
 			}
-			if n > uint64(len(b))/4 { // id + flag + secs + inc minimum
+			if n > uint64(len(b))/4 { // id + flags + secs + inc minimum
 				return errBadFrame
 			}
 			st.Members = make([]Member, 0, n)
@@ -872,11 +890,15 @@ func decodeResponse(b []byte, r *Response) error {
 					return err
 				}
 				m.ID = int(v)
-				var flag byte
-				if flag, b, err = getByte(b); err != nil {
+				var flags byte
+				if flags, b, err = getByte(b); err != nil {
 					return err
 				}
-				m.Primary = flag != 0
+				if flags > 3 {
+					return fmt.Errorf("%w: member flags %d", errBadFrame, flags)
+				}
+				m.Primary = flags&1 != 0
+				m.Leased = flags&2 != 0
 				if m.Secs, b, err = getVarint(b); err != nil {
 					return err
 				}

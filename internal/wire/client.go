@@ -182,11 +182,12 @@ func (mc *muxConn) broken() bool {
 // Statically assert Client satisfies the driver's connection
 // interfaces, including the causal-session capability.
 var (
-	_ driver.Conn          = (*Client)(nil)
-	_ driver.CausalConn    = (*Client)(nil)
-	_ driver.TracedConn    = (*Client)(nil)
-	_ driver.TraceProvider = (*Client)(nil)
-	_ driver.OplogTailer   = (*Client)(nil)
+	_ driver.Conn             = (*Client)(nil)
+	_ driver.CausalConn       = (*Client)(nil)
+	_ driver.TracedConn       = (*Client)(nil)
+	_ driver.TraceProvider    = (*Client)(nil)
+	_ driver.OplogTailer      = (*Client)(nil)
+	_ driver.LinearizableConn = (*Client)(nil)
 )
 
 // Dial connects to a wire server and fetches the initial topology.
@@ -535,11 +536,15 @@ func (cl *Client) ServerStatus(p sim.Proc, nodeID int) cluster.Status {
 	if err != nil || resp.Status == nil {
 		return cluster.Status{From: nodeID}
 	}
-	st := cluster.Status{From: resp.Status.From, Primary: resp.Status.Primary}
+	st := cluster.Status{
+		From: resp.Status.From, Primary: resp.Status.Primary,
+		LeaseEpoch: resp.Status.LeaseEpoch,
+	}
 	for _, m := range resp.Status.Members {
 		st.Members = append(st.Members, cluster.MemberStatus{
 			ID: m.ID, Primary: m.Primary,
 			Applied: optimeFrom(m.Secs, m.Inc),
+			Leased:  m.Leased,
 		})
 	}
 	return st
@@ -613,6 +618,47 @@ func (cl *Client) ExecReadMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta 
 			Start:  start,
 			Dur:    tnow(p) - start,
 			Attrs:  []trace.Attr{{K: "node", V: strconv.Itoa(nodeID)}},
+		})
+	}
+	if err != nil {
+		return nil, oplog.Zero, err
+	}
+	return res, view.seen, view.err
+}
+
+// ExecReadLinearizableMeta implements driver.LinearizableConn: every
+// round trip of the body carries read concern linearizable, so the
+// serving node answers under the lease protocol (primary leader lease,
+// secondary read lease, majority-confirm otherwise) and rejects with
+// CodeNotLeased when it cannot — the driver maps that back through
+// cluster.LeaseReject and retries at the primary. The causal
+// prerequisite and trace context ride along exactly as in ExecReadMeta.
+func (cl *Client) ExecReadLinearizableMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta cluster.ReadMeta, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
+	view := &remoteReadView{cl: cl, node: nodeID, after: after, bound: meta.BoundSecs, rc: RCLinearizable}
+	live := meta.Ctx.Live()
+	var spanID uint64
+	var start time.Duration
+	if live {
+		spanID = cl.tracer.NewSpanID()
+		tctx := meta.Ctx
+		tctx.SpanID = spanID
+		view.trace = &tctx
+		start = tnow(p)
+	}
+	res, err := fn(view)
+	if live {
+		cl.tracer.Record(trace.Span{
+			Trace:  meta.Ctx.TraceID,
+			ID:     spanID,
+			Parent: meta.Ctx.SpanID,
+			Name:   "client.exec_read",
+			Node:   -1,
+			Start:  start,
+			Dur:    tnow(p) - start,
+			Attrs: []trace.Attr{
+				{K: "node", V: strconv.Itoa(nodeID)},
+				{K: "rc", V: "linearizable"},
+			},
 		})
 	}
 	if err != nil {
@@ -698,6 +744,9 @@ type remoteReadView struct {
 	// checks secondary reads against.
 	trace *trace.Context
 	bound int64
+	// rc is the read concern every op of the body carries (0 = local;
+	// zero wire bytes on both codecs).
+	rc int
 }
 
 // observe folds a response's node OpTime into the view's causal token.
@@ -714,7 +763,7 @@ func (v *remoteReadView) observe(resp *Response) {
 func (v *remoteReadView) request(op string) *Request {
 	return &Request{
 		Op: op, Node: v.node, AfterSecs: v.after.Secs, AfterInc: v.after.Inc,
-		BoundSecs: v.bound, Trace: v.trace,
+		BoundSecs: v.bound, Trace: v.trace, ReadConcern: v.rc,
 	}
 }
 

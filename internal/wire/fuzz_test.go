@@ -82,6 +82,20 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{rsChunks, 0x03, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // huge chunk count
 	f.Add([]byte{rsEntries, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F, 'k'}) // huge entry count
 	f.Add([]byte{rsTruncS, 0x02, rsTruncI})                     // truncation inc cut short
+	// PR 9 lease surface: a linearizable request, a status answer with
+	// a lease epoch and leased members, and near-miss member flags.
+	linReq := Request{ID: 14, Op: OpFindByID, Node: 2, Collection: "kv", DocID: "a",
+		ReadConcern: RCLinearizable}
+	if body, err := encodeRequest(nil, &linReq); err == nil {
+		f.Add(body)
+	}
+	leaseResp := Response{ID: 15, Status: &StatusBody{From: 1, LeaseEpoch: 6,
+		Members: []Member{{ID: 0, Primary: true, Leased: true, Secs: 3, Inc: 1}, {ID: 1, Leased: true}}}}
+	if body, err := encodeResponse(nil, &leaseResp); err == nil {
+		f.Add(body)
+	}
+	f.Add([]byte{rsStatus, 0x02, 0x00, 0x01, 0x01, 0x00, 0x04, 0x00, 0x00}) // invalid member flags
+	f.Add([]byte{rqReadConcern, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})              // oversized read concern
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var rq Request

@@ -85,6 +85,12 @@ const (
 	// threshold and rejected the request without executing it. The
 	// request did not run — retrying after a backoff is always safe.
 	CodeOverloaded = 1001
+	// CodeNotLeased is a lease rejection: the target member could not
+	// serve a linearizable read locally (no lease, lease expired, or
+	// commit point not yet applied). The read did not execute — the
+	// driver retries it at the primary. The reason rides in the error
+	// message (see cluster.LeaseReject).
+	CodeNotLeased = 1002
 )
 
 // Error is a typed protocol error: the server's message plus its
@@ -106,8 +112,21 @@ func IsRetryable(err error) bool {
 	if !errors.As(err, &we) {
 		return false
 	}
-	return we.Code == CodeOverloaded
+	return we.Code == CodeOverloaded || we.Code == CodeNotLeased
 }
+
+// Read concern values carried in Request.ReadConcern. Zero (the
+// default, "local") costs zero wire bytes on both codecs.
+const (
+	// RCLocal is the default read concern: serve from the target node's
+	// latest applied snapshot.
+	RCLocal = 0
+	// RCLinearizable asks the target to serve under the lease protocol:
+	// the primary under its leader lease (or a majority-confirm round),
+	// a secondary from a valid read lease — rejecting with CodeNotLeased
+	// when it cannot.
+	RCLinearizable = 1
+)
 
 // Cond is the wire form of a filter condition.
 type Cond struct {
@@ -179,6 +198,9 @@ type Request struct {
 	// session promised for this read; the serving side's freshness
 	// auditor checks the observed staleness against it (0 = none).
 	BoundSecs int64 `json:"bound_secs,omitempty"`
+	// ReadConcern selects the read's consistency level (see the RC
+	// constants). Zero — the local default — is absent on the wire.
+	ReadConcern int `json:"read_concern,omitempty"`
 	// Spans is the trace_push payload.
 	Spans []trace.Span `json:"spans,omitempty"`
 
@@ -220,6 +242,10 @@ type Member struct {
 	Primary bool   `json:"primary"`
 	Secs    int64  `json:"secs"`
 	Inc     uint32 `json:"inc"`
+	// Leased reports whether the member currently holds a valid lease
+	// (leader lease for the primary, read lease for a secondary) and can
+	// serve linearizable reads locally.
+	Leased bool `json:"leased,omitempty"`
 }
 
 // StatusBody is the wire form of a serverStatus response.
@@ -227,6 +253,9 @@ type StatusBody struct {
 	From    int      `json:"from"`
 	Primary int      `json:"primary"`
 	Members []Member `json:"members"`
+	// LeaseEpoch is the replica set's current lease epoch (0 when the
+	// lease subsystem is disabled).
+	LeaseEpoch uint64 `json:"lease_epoch,omitempty"`
 }
 
 // Topology describes the replica set to clients.
