@@ -8,7 +8,7 @@ COUNT ?= 3
 # (report-only) because 1x iterations are throughput noise.
 BENCHGATE_MIN ?= 0.97
 
-.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9
+.PHONY: all build test race vet staticcheck bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10
 
 all: build test
 
@@ -117,3 +117,18 @@ bench-pr9:
 	$(GO) run ./cmd/benchgate -file BENCH_PR9.json -min-ratio $(BENCHGATE_MIN) -benches '' -alloc-benches BenchmarkWireConcurrentPointReads \
 		-scale 'BenchmarkLinearizable5Node/BenchmarkLinearizablePrimaryOnly>=3.0'
 	@cat BENCH_PR9.json
+
+# bench-pr10 runs the freshness-priced cache benchmarks: Zipf hot-key
+# bounded reads with the driver cache on must clear 5x the cache-off
+# baseline (a scale gate within the current run — both arms pay the
+# same modeled 2 ms server-side service time, so the ratio is
+# local-hit vs server capacity), and the pure hit path must stay at
+# zero allocations per op over bench/baseline_pr10.txt (its
+# throughput is reported but not gated; the alloc bound is the
+# regression that matters on a path this hot).
+bench-pr10:
+	$(GO) test ./internal/driver -run '^$$' -bench 'BenchmarkDriverCache|BenchmarkCacheHitPath' -benchtime $(BENCHTIME) -count $(COUNT) -benchmem > bench/current_pr10.txt
+	$(GO) run ./cmd/benchjson -baseline bench/baseline_pr10.txt < bench/current_pr10.txt > BENCH_PR10.json
+	$(GO) run ./cmd/benchgate -file BENCH_PR10.json -min-ratio $(BENCHGATE_MIN) -benches '' -alloc-benches BenchmarkCacheHitPath \
+		-scale 'BenchmarkDriverCacheOn/BenchmarkDriverCacheOff>=5.0'
+	@cat BENCH_PR10.json

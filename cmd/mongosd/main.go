@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"decongestant/internal/cache"
 	"decongestant/internal/core"
 	"decongestant/internal/driver"
 	"decongestant/internal/obs/trace"
@@ -48,6 +49,11 @@ func main() {
 	splits := flag.String("split", "", "comma-separated shard-key split points enabling chunk routing (empty = hash mode)")
 	seed := flag.Int64("seed", 1, "environment seed")
 	seqScatter := flag.Bool("seq-scatter", false, "scatter to shards sequentially instead of in parallel")
+	cacheOn := flag.Bool("cache", false,
+		"enable the router-side freshness-priced read cache: bounded point reads spend the client's staleness budget locally before touching a shard")
+	cacheBytes := flag.Int("cache-bytes", 0, "cache capacity in bytes before LRU eviction (0 = the 8 MiB default)")
+	cacheGuard := flag.Int64("cache-guard", 0,
+		"cache validity guard band in seconds, subtracted from every entry's remaining staleness budget (0 = the 1s default)")
 	maxConns := flag.Int("max-conns", 0, "max simultaneous wire connections (0 = unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "max in-service requests per connection (0 = unlimited)")
 	shedInflight := flag.Int("shed-inflight", 0,
@@ -81,6 +87,11 @@ func main() {
 		opts.Authority = sharding.NewChunkAuthority(env, sharding.NewChunkMap(sp, len(conns)))
 	}
 	mongos := sharding.NewMongos(env, conns, addrs, core.DefaultParams(), opts)
+	if *cacheOn {
+		rc := mongos.Router().EnableCache(cache.Config{MaxBytes: *cacheBytes, GuardBandSecs: *cacheGuard})
+		eff := rc.EffectiveConfig()
+		logger.Printf("freshness-priced read cache enabled: %d bytes, %ds guard band", eff.MaxBytes, eff.GuardBandSecs)
+	}
 	srv := wire.NewBackendServer(env, mongos, logger, wire.ServerConfig{
 		IdleTimeout:        *idleTimeout,
 		MaxConns:           *maxConns,

@@ -483,23 +483,15 @@ func (n *Node) wakeAckWaitersLocked() {
 // Every document an in-process view returns is a shared immutable
 // snapshot of committed state (the store is copy-on-write): results
 // are strictly read-only, and a caller that wants to modify one clones
-// it first. The historical *Shared variants, which predate
-// copy-on-write storage, are retained as aliases so existing call
-// sites keep compiling; new code can use either form.
+// it first.
 type ReadView interface {
 	// FindByID looks up one document by _id. The result is a shared
 	// immutable snapshot — read-only for the caller.
 	FindByID(collection, id string) (storage.Document, bool)
-	// FindByIDShared is an alias of FindByID (see the interface note).
-	FindByIDShared(collection, id string) (storage.Document, bool)
 	// FindManyByID batch-fetches documents by _id.
 	FindManyByID(collection string, ids []string) []storage.Document
-	// FindManyByIDShared is an alias of FindManyByID.
-	FindManyByIDShared(collection string, ids []string) []storage.Document
 	// Find runs a filtered query (limit 0 = unlimited).
 	Find(collection string, f storage.Filter, limit int) []storage.Document
-	// FindShared is an alias of Find.
-	FindShared(collection string, f storage.Filter, limit int) []storage.Document
 	// Count counts matching documents.
 	Count(collection string, f storage.Filter) int
 	// AddUnits charges extra read work units for computation on results.
@@ -550,13 +542,6 @@ func (v *localReadView) FindByID(collection, id string) (storage.Document, bool)
 	return v.node.store.C(collection).FindByID(id)
 }
 
-// FindByIDShared is an alias of FindByID, retained from the
-// pre-copy-on-write API.
-func (v *localReadView) FindByIDShared(collection, id string) (storage.Document, bool) {
-	v.readUnits++
-	return v.node.store.C(collection).FindByID(id)
-}
-
 // Find runs a filtered query; it costs 1 unit plus one per four
 // returned documents — an index-assisted batch scan amortizes per-
 // document overhead, unlike repeated point lookups.
@@ -579,18 +564,6 @@ func (v *localReadView) FindManyByID(collection string, ids []string) []storage.
 	}
 	v.readUnits += 1 + (len(ids)+7)/8
 	return out
-}
-
-// FindManyByIDShared is an alias of FindManyByID, retained from the
-// pre-copy-on-write API.
-func (v *localReadView) FindManyByIDShared(collection string, ids []string) []storage.Document {
-	return v.FindManyByID(collection, ids)
-}
-
-// FindShared is an alias of Find, retained from the pre-copy-on-write
-// API.
-func (v *localReadView) FindShared(collection string, f storage.Filter, limit int) []storage.Document {
-	return v.Find(collection, f, limit)
 }
 
 // Count counts matching documents (1 unit plus one per 4 matches).

@@ -485,6 +485,17 @@ type ReadMeta struct {
 // errs conservative (DESIGN.md §12). Reads that exceed their promised
 // bound bump freshness.bound_violations and pin the offending trace.
 func (rs *ReplicaSet) ExecReadMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta ReadMeta, fn func(v ReadView) (any, error)) (any, oplog.OpTime, error) {
+	res, ts, _, err := rs.ExecReadFreshMeta(p, nodeID, after, meta, fn)
+	return res, ts, err
+}
+
+// ExecReadFreshMeta is ExecReadMeta that additionally returns the
+// staleness observed at serve time, in whole seconds (0 for
+// primary-served reads). The freshness-priced cache stamps entries
+// with this value: an entry filled with observed staleness s at wall
+// time t provably satisfies any bound Δ until t + (Δ − s), because
+// staleness grows at most at wall-clock rate.
+func (rs *ReplicaSet) ExecReadFreshMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta ReadMeta, fn func(v ReadView) (any, error)) (any, oplog.OpTime, int64, error) {
 	n := rs.nodes[nodeID]
 	rs.net.Travel(p, rs.cfg.ClientZone, n.Zone)
 	live := meta.Ctx.Live()
@@ -495,9 +506,10 @@ func (rs *ReplicaSet) ExecReadMeta(p sim.Proc, nodeID int, after oplog.OpTime, m
 		start = p.Now()
 	}
 	res, ts, err := n.execReadAfter(p, after, fn)
+	var observed int64
 	var attrs []trace.Attr
 	if err == nil && nodeID != rs.PrimaryID() {
-		observed := rs.Primary().LastApplied().LagSeconds(ts)
+		observed = rs.Primary().LastApplied().LagSeconds(ts)
 		if rs.audit.record(meta.BoundSecs, observed, meta.Ctx.TraceID) {
 			rs.tracer.Pin(meta.Ctx.TraceID)
 		}
@@ -523,7 +535,21 @@ func (rs *ReplicaSet) ExecReadMeta(p sim.Proc, nodeID int, after oplog.OpTime, m
 		})
 	}
 	rs.net.Travel(p, n.Zone, rs.cfg.ClientZone)
-	return res, ts, err
+	return res, ts, observed, err
+}
+
+// AuditServed files a read that was served without touching any node —
+// a cache hit — into the same freshness auditor as node-served reads,
+// with the hit's effective staleness (fill staleness + entry age). It
+// reports whether the read violated its bound, pinning the trace when
+// it did. The non-violating path is allocation-free once the bound's
+// histogram exists, which keeps cache hits at zero allocs.
+func (rs *ReplicaSet) AuditServed(boundSecs, observedSecs int64, traceID uint64) bool {
+	if rs.audit.record(boundSecs, observedSecs, traceID) {
+		rs.tracer.Pin(traceID)
+		return true
+	}
+	return false
 }
 
 func (n *Node) execReadAfter(p sim.Proc, after oplog.OpTime, fn func(v ReadView) (any, error)) (any, oplog.OpTime, error) {

@@ -10,6 +10,7 @@ import (
 	"decongestant/internal/driver"
 	"decongestant/internal/obs"
 	"decongestant/internal/obs/trace"
+	"decongestant/internal/oplog"
 	"decongestant/internal/sim"
 )
 
@@ -145,6 +146,34 @@ func (r *Router) ReadTraced(p sim.Proc, fn func(v cluster.ReadView) (any, error)
 	}
 	r.mu.Unlock()
 	return res, pref, lat, tctx.TraceID, nil
+}
+
+// ReadFresh routes one read like Read — same biased coin, same
+// balancer latency accounting — but also returns the serving node's
+// applied OpTime and observed staleness, so a caller-side
+// freshness-priced cache (the mongos router cache) can stamp its
+// fills. fresh=false means the connection cannot report staleness and
+// the results must not be cached under a bound. This path is untraced:
+// it exists for cache fills, whose spans the cache owner records.
+func (r *Router) ReadFresh(p sim.Proc, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, int64, driver.ReadPref, time.Duration, bool, error) {
+	pref := r.Choose()
+	opts := driver.ReadOptions{Pref: pref}
+	if pref == driver.Secondary {
+		opts.AuditBoundSecs = r.balancer.Params().StaleBound
+	}
+	res, ts, observed, _, lat, fresh, err := r.client.ReadFresh(p, opts, fn)
+	if err != nil {
+		return nil, oplog.Zero, 0, pref, lat, fresh, err
+	}
+	r.balancer.Record(pref, lat)
+	r.mu.Lock()
+	if pref == driver.Secondary {
+		r.nSecond++
+	} else {
+		r.nPrimary++
+	}
+	r.mu.Unlock()
+	return res, ts, observed, pref, lat, fresh, nil
 }
 
 // LinDecision records one linearizable routing outcome: where the read

@@ -1,0 +1,394 @@
+package driver
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"decongestant/internal/cache"
+	"decongestant/internal/cluster"
+	"decongestant/internal/obs/trace"
+	"decongestant/internal/oplog"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// FreshConn is the optional connection capability behind the
+// freshness-priced cache: a read that also reports the staleness the
+// serving node observed at serve time (0 when the primary served).
+// The cache stamps fills with that value — an entry filled s seconds
+// stale at time t provably satisfies bound Δ until t + (Δ − s).
+type FreshConn interface {
+	Conn
+	ExecReadFreshMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta cluster.ReadMeta, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, int64, error)
+}
+
+// CacheAuditor is the optional connection capability that files reads
+// served without touching any node — cache hits — into the server-side
+// freshness auditor, so every hit still lands in the observed-staleness
+// histograms and can fire freshness.bound_violations.
+type CacheAuditor interface {
+	AuditServed(boundSecs, observedSecs int64, traceID uint64) bool
+}
+
+// The in-process replica set provides both capabilities.
+var (
+	_ FreshConn    = (*clusterConn)(nil)
+	_ CacheAuditor = (*clusterConn)(nil)
+)
+
+// EnableCache attaches a freshness-priced read cache to the client.
+// Bounded reads (AuditBoundSecs > 0, any non-linearizable preference)
+// consult it before selecting a server; hits are priced against the
+// bound and audited, misses fill through the connection's FreshConn
+// capability. Returns the cache (nil when the connection cannot report
+// observed staleness — then the client reads exactly as before).
+func (c *Client) EnableCache(env sim.Env, cfg cache.Config) *cache.Cache {
+	fc, ok := c.conn.(FreshConn)
+	if !ok {
+		return nil
+	}
+	c.cache = cache.New(env, cfg, c.reg)
+	c.fresh = fc
+	c.cacheAudit, _ = c.conn.(CacheAuditor)
+	return c.cache
+}
+
+// Cache returns the attached cache (nil when disabled).
+func (c *Client) Cache() *cache.Cache { return c.cache }
+
+// ReadFresh routes one read like Read but additionally returns the
+// serving node's applied OpTime and observed staleness — the stamp an
+// external freshness-priced cache (the mongos router-side cache) needs
+// to price its fills. fresh=false means the connection lacks the
+// FreshConn capability: the read still executed, but the staleness is
+// unknown and the results must not be cached under a freshness bound.
+func (c *Client) ReadFresh(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) (any, error)) (res any, ts oplog.OpTime, observedSecs int64, nodeID int, lat time.Duration, fresh bool, err error) {
+	fc, ok := c.conn.(FreshConn)
+	if !ok {
+		res, nodeID, lat, err = c.Read(p, opts, fn)
+		return res, oplog.Zero, 0, nodeID, lat, false, err
+	}
+	nodeID, err = c.SelectServer(opts)
+	if err != nil {
+		return nil, oplog.Zero, 0, -1, 0, true, err
+	}
+	meta := cluster.ReadMeta{BoundSecs: opts.AuditBoundSecs}
+	start := p.Now()
+	res, ts, observedSecs, err = fc.ExecReadFreshMeta(p, nodeID, oplog.Zero, meta, fn)
+	if errors.Is(err, cluster.ErrNodeDown) {
+		switch opts.Pref {
+		case PrimaryPreferred:
+			fallback := opts
+			fallback.Pref = Secondary
+			if id2, err2 := c.SelectServer(fallback); err2 == nil {
+				c.obsFallbacks.Inc(1)
+				res, ts, observedSecs, err = fc.ExecReadFreshMeta(p, id2, oplog.Zero, meta, fn)
+				nodeID = id2
+			}
+		case SecondaryPreferred:
+			c.obsFallbacks.Inc(1)
+			nodeID = c.conn.PrimaryID()
+			res, ts, observedSecs, err = fc.ExecReadFreshMeta(p, nodeID, oplog.Zero, meta, fn)
+		}
+	}
+	return res, ts, observedSecs, nodeID, p.Now() - start, true, err
+}
+
+// cacheView is the phase-1 optimistic read view: it answers point
+// lookups from the cache alone and flags the first miss. It is pooled
+// so the all-hit path allocates nothing.
+type cacheView struct {
+	cache   *cache.Cache
+	now     time.Duration
+	bound   int64
+	after   oplog.OpTime
+	miss    bool
+	missKey cache.Key
+	worst   int64        // worst effective staleness over the hits
+	maxFill oplog.OpTime // newest fill OpTime over the hits
+}
+
+var cacheViewPool = sync.Pool{New: func() any { return new(cacheView) }}
+
+func (v *cacheView) FindByID(collection, id string) (storage.Document, bool) {
+	if v.miss {
+		return nil, false
+	}
+	doc, hit, ok := v.cache.Get(v.now, cache.Key{Collection: collection, ID: id}, v.bound, v.after, 0)
+	if !ok {
+		v.miss = true
+		v.missKey = cache.Key{Collection: collection, ID: id}
+		return nil, false
+	}
+	if hit.EffSecs > v.worst {
+		v.worst = hit.EffSecs
+	}
+	if v.maxFill.Before(hit.FillOpTime) {
+		v.maxFill = hit.FillOpTime
+	}
+	return doc, true
+}
+
+func (v *cacheView) FindManyByID(collection string, ids []string) []storage.Document {
+	if v.miss {
+		return nil
+	}
+	out := make([]storage.Document, 0, len(ids))
+	for _, id := range ids {
+		doc, ok := v.FindByID(collection, id)
+		if v.miss {
+			return nil
+		}
+		if ok {
+			out = append(out, doc)
+		}
+	}
+	return out
+}
+
+// Filtered queries and counts are not cached: they always fall through
+// to the network phase.
+func (v *cacheView) Find(collection string, f storage.Filter, limit int) []storage.Document {
+	v.miss = true
+	return nil
+}
+
+func (v *cacheView) Count(collection string, f storage.Filter) int {
+	v.miss = true
+	return 0
+}
+
+func (v *cacheView) AddUnits(u int) {}
+
+// fillRecorder is the phase-2 view: it forwards to the real (node or
+// remote) view and records every point-read result so the caller can
+// fill the cache after the read returns with its observed staleness.
+type fillRecorder struct {
+	inner cluster.ReadView
+	cols  []string
+	docs  []storage.Document
+}
+
+func (r *fillRecorder) FindByID(collection, id string) (storage.Document, bool) {
+	doc, ok := r.inner.FindByID(collection, id)
+	if ok {
+		r.cols = append(r.cols, collection)
+		r.docs = append(r.docs, doc)
+	}
+	return doc, ok
+}
+
+func (r *fillRecorder) FindManyByID(collection string, ids []string) []storage.Document {
+	docs := r.inner.FindManyByID(collection, ids)
+	for _, d := range docs {
+		if d != nil {
+			r.cols = append(r.cols, collection)
+			r.docs = append(r.docs, d)
+		}
+	}
+	return docs
+}
+
+func (r *fillRecorder) Find(collection string, f storage.Filter, limit int) []storage.Document {
+	return r.inner.Find(collection, f, limit)
+}
+
+func (r *fillRecorder) Count(collection string, f storage.Filter) int {
+	return r.inner.Count(collection, f)
+}
+
+func (r *fillRecorder) AddUnits(u int) { r.inner.AddUnits(u) }
+
+// tryCacheHit runs fn against the cache-only view. On an all-hit read
+// it audits once with the worst effective staleness, advances the
+// session token to the newest fill OpTime, and returns the result with
+// served=true. fn must be a pure function of the view: a missing read
+// is re-run against the cluster, discarding this attempt's result.
+func (c *Client) tryCacheHit(p sim.Proc, bound int64, after oplog.OpTime, traceID uint64, sess *Session, fn func(v cluster.ReadView) (any, error)) (any, cache.Key, bool, error) {
+	v := cacheViewPool.Get().(*cacheView)
+	v.cache, v.now, v.bound, v.after = c.cache, p.Now(), bound, after
+	v.miss, v.worst = false, 0
+	v.missKey = cache.Key{}
+	v.maxFill = oplog.OpTime{}
+	res, err := fn(v)
+	if v.miss {
+		missKey := v.missKey
+		cacheViewPool.Put(v)
+		return nil, missKey, false, nil
+	}
+	worst, maxFill := v.worst, v.maxFill
+	cacheViewPool.Put(v)
+	if c.cacheAudit != nil {
+		c.cacheAudit.AuditServed(bound, worst, traceID)
+	}
+	if sess != nil {
+		sess.advance(maxFill)
+	}
+	return res, cache.Key{}, true, err
+}
+
+// readCached is the freshness-priced read path: spend the client's
+// staleness budget locally before paying the network. Phase 1 serves
+// the read from valid cache entries alone (zero network hops, zero
+// allocations). On a miss, concurrent readers of the hot key collapse
+// into one singleflight fill, the read executes through FreshConn, and
+// every point-read result is filled back stamped with the serving
+// node's observed staleness and OpTime.
+//
+// handled=false means the cached path does not apply (no cache, no
+// bound, linearizable preference) and the caller must run the normal
+// path. sess, when non-nil, supplies the causal token and receives
+// advances.
+func (c *Client) readCached(p sim.Proc, opts ReadOptions, tctx trace.Context, sess *Session, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, bool, error) {
+	if c.cache == nil || opts.AuditBoundSecs <= 0 || opts.Pref == Linearizable {
+		return nil, 0, 0, false, nil
+	}
+	var after oplog.OpTime
+	if sess != nil {
+		after = sess.opTime
+	}
+	start := p.Now()
+	res, missKey, served, err := c.tryCacheHit(p, opts.AuditBoundSecs, after, tctx.TraceID, sess, fn)
+	if served {
+		c.recordCacheSpan(p, tctx, start, opts, true)
+		return res, -1, p.Now() - start, true, err
+	}
+	// Singleflight on the first missing key: one leader fetches, the
+	// collapsed followers wait and re-check before fetching themselves.
+	if !c.cache.BeginFill(p, missKey) {
+		res, _, served, err = c.tryCacheHit(p, opts.AuditBoundSecs, after, tctx.TraceID, sess, fn)
+		if served {
+			c.recordCacheSpan(p, tctx, start, opts, true)
+			return res, -1, p.Now() - start, true, err
+		}
+		if !c.cache.BeginFill(p, missKey) {
+			// A second leader is already refetching; fetch alongside it
+			// rather than queueing indefinitely.
+			return c.fillRead(p, opts, tctx, sess, after, start, fn)
+		}
+	}
+	defer c.cache.EndFill(missKey)
+	return c.fillRead(p, opts, tctx, sess, after, start, fn)
+}
+
+// fillRead is the miss path: execute the read through FreshConn at a
+// selected server (with the same down-node fallback as ReadTraced) and
+// fill the cache from the recorded point reads.
+func (c *Client) fillRead(p sim.Proc, opts ReadOptions, tctx trace.Context, sess *Session, after oplog.OpTime, start time.Duration, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, bool, error) {
+	nodeID, err := c.SelectServer(opts)
+	if err != nil {
+		return nil, -1, p.Now() - start, true, err
+	}
+	var spanID uint64
+	if tctx.Live() {
+		spanID = c.tracer.NewSpanID()
+	}
+	meta := cluster.ReadMeta{
+		Ctx:       trace.Context{TraceID: tctx.TraceID, SpanID: spanID, Route: tctx.Route},
+		BoundSecs: opts.AuditBoundSecs,
+	}
+	rec := &fillRecorder{}
+	wrapped := func(v cluster.ReadView) (any, error) {
+		rec.inner = v
+		rec.cols, rec.docs = rec.cols[:0], rec.docs[:0]
+		return fn(rec)
+	}
+	res, ts, observed, err := c.fresh.ExecReadFreshMeta(p, nodeID, after, meta, wrapped)
+	if errors.Is(err, cluster.ErrNodeDown) {
+		switch opts.Pref {
+		case PrimaryPreferred:
+			fallback := opts
+			fallback.Pref = Secondary
+			if id2, err2 := c.SelectServer(fallback); err2 == nil {
+				c.obsFallbacks.Inc(1)
+				res, ts, observed, err = c.fresh.ExecReadFreshMeta(p, id2, after, meta, wrapped)
+				nodeID = id2
+			}
+		case SecondaryPreferred:
+			c.obsFallbacks.Inc(1)
+			nodeID = c.conn.PrimaryID()
+			res, ts, observed, err = c.fresh.ExecReadFreshMeta(p, nodeID, after, meta, wrapped)
+		}
+	}
+	if err == nil {
+		now := p.Now()
+		for i := range rec.docs {
+			key := cache.Key{Collection: rec.cols[i], ID: rec.docs[i].ID()}
+			c.cache.Put(now, key, rec.docs[i], observed, ts, 0)
+		}
+		if sess != nil {
+			sess.advance(ts)
+		}
+	}
+	lat := p.Now() - start
+	if tctx.Live() {
+		c.tracer.Record(trace.Span{
+			Trace:  tctx.TraceID,
+			ID:     spanID,
+			Parent: tctx.SpanID,
+			Name:   "driver.read",
+			Node:   -1,
+			Start:  start,
+			Dur:    lat,
+			Attrs: []trace.Attr{
+				{K: "pref", V: opts.Pref.String()},
+				{K: "node", V: strconv.Itoa(nodeID)},
+				{K: "cache", V: "fill"},
+			},
+		})
+	}
+	return res, nodeID, lat, true, err
+}
+
+func (c *Client) recordCacheSpan(p sim.Proc, tctx trace.Context, start time.Duration, opts ReadOptions, hit bool) {
+	if !tctx.Live() {
+		return
+	}
+	c.tracer.Record(trace.Span{
+		Trace:  tctx.TraceID,
+		ID:     c.tracer.NewSpanID(),
+		Parent: tctx.SpanID,
+		Name:   "driver.read",
+		Node:   -1,
+		Start:  start,
+		Dur:    p.Now() - start,
+		Attrs: []trace.Attr{
+			{K: "pref", V: opts.Pref.String()},
+			{K: "cache", V: "hit"},
+		},
+	})
+}
+
+// invalidatingTxn wraps a WriteTxn and records the keys it mutates so
+// the client can write-through invalidate its cache after commit.
+type invalidatingTxn struct {
+	cluster.WriteTxn
+	keys []cache.Key
+}
+
+func (t *invalidatingTxn) Insert(collection string, doc storage.Document) error {
+	t.keys = append(t.keys, cache.Key{Collection: collection, ID: doc.ID()})
+	return t.WriteTxn.Insert(collection, doc)
+}
+
+func (t *invalidatingTxn) Set(collection, id string, fields storage.Document) error {
+	t.keys = append(t.keys, cache.Key{Collection: collection, ID: id})
+	return t.WriteTxn.Set(collection, id, fields)
+}
+
+func (t *invalidatingTxn) Delete(collection, id string) error {
+	t.keys = append(t.keys, cache.Key{Collection: collection, ID: id})
+	return t.WriteTxn.Delete(collection, id)
+}
+
+// invalidateKeys drops the written keys after a committed transaction.
+// Invalidation (not refresh) is deliberate: the commit's OpTime is
+// newer than any concurrent fill, so dropping is always safe, and the
+// next bounded read refills with a properly stamped entry.
+func (c *Client) invalidateKeys(keys []cache.Key) {
+	for _, k := range keys {
+		c.cache.InvalidateKey(k)
+	}
+}

@@ -1,0 +1,150 @@
+package driver
+
+// Benchmarks for the PR 10 headline claim: spending the client's
+// staleness budget locally beats paying the server for every read.
+// Both driver benchmarks run the identical Zipf hot-key point-read
+// workload against the identical replica set — same modeled per-read
+// service time, same CPU slots — differing only in whether the
+// freshness-priced cache is enabled. With a 30 s bound and no writers,
+// nearly every cache-on read is a local hit; every cache-off read pays
+// the modeled service time at a node. The gate (`make bench-pr10`)
+// requires cache-on to clear 5x cache-off within the run, and the hit
+// path to stay at zero allocations per op.
+//
+// Service time is simulated (a Sleep while the node's CPU slot is
+// held), so the ratio measures placement — local memory versus a
+// capacity-limited server — not the host's parallelism.
+//
+// Run with:
+//
+//	go test ./internal/driver -bench 'BenchmarkDriverCache|BenchmarkCacheHitPath' -benchtime 2s -count 3 -benchmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"decongestant/internal/cache"
+	"decongestant/internal/cluster"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+const (
+	cacheBenchDocs   = 512
+	cacheBenchFanout = 64 // parallel clients per GOMAXPROCS
+	cacheBenchBound  = 30 // seconds; >> benchtime, so entries never expire mid-run
+)
+
+func cacheBenchDocID(i int) string { return fmt.Sprintf("c%04d", i) }
+
+// cacheBenchSet builds the real-time replica set both arms share: a
+// modeled 2 ms read service time and 4 CPU slots per node bound the
+// server-side read capacity, and the documents are preloaded on every
+// member so secondaries can serve immediately.
+func cacheBenchSet(b *testing.B, withCache bool) (*sim.RealtimeEnv, *Client) {
+	b.Helper()
+	env := sim.NewRealtimeEnv(10)
+	cfg := cluster.DefaultConfig()
+	cfg.ReadCost = 2 * time.Millisecond
+	cfg.CPUSlots = 4
+	cfg.ReplIdlePoll = 5 * time.Millisecond
+	cfg.CheckpointInterval = time.Hour
+	cfg.NoopInterval = time.Hour
+	rs := cluster.New(env, cfg)
+	err := rs.Bootstrap(func(s *storage.Store) error {
+		c := s.C("bench")
+		for i := 0; i < cacheBenchDocs; i++ {
+			if err := c.Insert(storage.D{"_id": cacheBenchDocID(i), "val": int64(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewClient(env, WrapCluster(rs))
+	if withCache {
+		if c.EnableCache(env, cache.Config{}) == nil {
+			b.Fatal("EnableCache returned nil")
+		}
+	}
+	return env, c
+}
+
+// benchDriverReads drives closed-loop bounded point reads with a Zipf
+// key distribution — the hot keys that make a read cache pay.
+func benchDriverReads(b *testing.B, withCache bool) {
+	env, c := cacheBenchSet(b, withCache)
+	defer env.Shutdown()
+	ids := make([]string, cacheBenchDocs)
+	for i := range ids {
+		ids[i] = cacheBenchDocID(i)
+	}
+	opts := ReadOptions{Pref: Secondary, AuditBoundSecs: cacheBenchBound}
+	var seed atomic.Int64
+	b.SetParallelism(cacheBenchFanout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := env.Adhoc("bench-cache-reader")
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		zipf := rand.NewZipf(rng, 1.2, 1, cacheBenchDocs-1)
+		var id string
+		fn := func(v cluster.ReadView) (any, error) {
+			v.FindByID("bench", id)
+			return nil, nil
+		}
+		for pb.Next() {
+			id = ids[zipf.Uint64()]
+			if _, _, _, err := c.Read(p, opts, fn); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rt/s")
+}
+
+// BenchmarkDriverCacheOn reads through the freshness-priced cache —
+// the PR 10 headline number.
+func BenchmarkDriverCacheOn(b *testing.B) { benchDriverReads(b, true) }
+
+// BenchmarkDriverCacheOff pays the server for every read — the
+// baseline the cache-on number is gated 5x against.
+func BenchmarkDriverCacheOff(b *testing.B) { benchDriverReads(b, false) }
+
+// BenchmarkCacheHitPath measures the pure hit path: one pre-filled hot
+// key read back under its bound, single-threaded. Gated at zero
+// allocations per op — the pooled cache view, the stack-allocated key,
+// and the auditor's cached histogram must keep the heap out of it.
+func BenchmarkCacheHitPath(b *testing.B) {
+	env, c := cacheBenchSet(b, true)
+	defer env.Shutdown()
+	p := env.Adhoc("bench-hit-reader")
+	opts := ReadOptions{Pref: Secondary, AuditBoundSecs: cacheBenchBound}
+	id := cacheBenchDocID(0)
+	fn := func(v cluster.ReadView) (any, error) {
+		v.FindByID("bench", id)
+		return nil, nil
+	}
+	if _, _, _, err := c.Read(p, opts, fn); err != nil { // fill
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := c.Read(p, opts, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := c.Cache().Snapshot(); s.Hits < uint64(b.N) {
+		b.Fatalf("hit path missed: %+v over %d reads", s, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rt/s")
+}

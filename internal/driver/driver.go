@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"decongestant/internal/cache"
 	"decongestant/internal/cluster"
 	"decongestant/internal/obs"
 	"decongestant/internal/obs/trace"
@@ -184,6 +185,13 @@ type Client struct {
 	rng    *rand.Rand
 	reg    *obs.Registry
 	tracer *trace.Recorder
+
+	// Freshness-priced read cache (nil when disabled). fresh and
+	// cacheAudit are the connection's capabilities, resolved once at
+	// EnableCache so the hot path never type-asserts.
+	cache      *cache.Cache
+	fresh      FreshConn
+	cacheAudit CacheAuditor
 
 	// Cached registry instruments (atomic; no lock needed).
 	obsSelections  [6]*obs.Counter // indexed by ReadPref
@@ -431,6 +439,9 @@ func (c *Client) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView) 
 // a dead context and no bound it behaves exactly like the pre-trace
 // Read.
 func (c *Client) ReadTraced(p sim.Proc, opts ReadOptions, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, int, time.Duration, error) {
+	if res, nodeID, lat, handled, err := c.readCached(p, opts, tctx, nil, fn); handled {
+		return res, nodeID, lat, err
+	}
 	tc, traced := c.conn.(TracedConn)
 	if !traced || (!tctx.Live() && opts.AuditBoundSecs == 0) {
 		return c.readPlain(p, opts, fn)
@@ -511,9 +522,21 @@ func (c *Client) readPlain(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadV
 }
 
 // Write runs a write transaction at the primary and returns the
-// result and end-to-end latency.
+// result and end-to-end latency. With the cache enabled, written keys
+// are write-through invalidated after commit.
 func (c *Client) Write(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (any, time.Duration, error) {
 	start := p.Now()
+	if c.cache != nil {
+		rec := &invalidatingTxn{}
+		res, err := c.conn.ExecWrite(p, func(tx cluster.WriteTxn) (any, error) {
+			rec.WriteTxn = tx
+			return fn(rec)
+		})
+		if err == nil {
+			c.invalidateKeys(rec.keys)
+		}
+		return res, p.Now() - start, err
+	}
 	res, err := c.conn.ExecWrite(p, fn)
 	return res, p.Now() - start, err
 }

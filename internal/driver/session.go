@@ -83,6 +83,12 @@ func (s *Session) Read(p sim.Proc, opts ReadOptions, fn func(v cluster.ReadView)
 	if s.causal == nil {
 		return s.client.Read(p, opts, fn)
 	}
+	// The freshness-priced cache path enforces read-your-writes itself:
+	// entries older than the session token miss, and hits advance the
+	// token to the entry's fill OpTime.
+	if res, nodeID, lat, handled, err := s.client.readCached(p, opts, s.client.tracer.StartTrace(), s, fn); handled {
+		return res, nodeID, lat, err
+	}
 	nodeID, err := s.client.SelectServer(opts)
 	if err != nil {
 		return nil, -1, 0, err
@@ -146,6 +152,18 @@ func (s *Session) Write(p sim.Proc, fn func(tx cluster.WriteTxn) (any, error)) (
 		return s.client.Write(p, fn)
 	}
 	start := p.Now()
+	if s.client.cache != nil {
+		rec := &invalidatingTxn{}
+		res, ts, err := s.causal.ExecWriteTracked(p, func(tx cluster.WriteTxn) (any, error) {
+			rec.WriteTxn = tx
+			return fn(rec)
+		})
+		if err == nil {
+			s.client.invalidateKeys(rec.keys)
+			s.advance(ts)
+		}
+		return res, p.Now() - start, err
+	}
 	res, ts, err := s.causal.ExecWriteTracked(p, fn)
 	if err == nil {
 		s.advance(ts)

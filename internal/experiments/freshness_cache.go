@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"decongestant/internal/cache"
+	"decongestant/internal/cluster"
+	"decongestant/internal/core"
+	"decongestant/internal/driver"
+	"decongestant/internal/obs"
+	"decongestant/internal/sim"
+	"decongestant/internal/storage"
+)
+
+// FreshnessCacheArm is one arm of the freshness-priced cache
+// experiment: the same gated Decongestant router over the same laggy
+// cluster, with the driver cache validating entries either by the
+// freshness price (fill staleness + age + guard band ≤ bound) or by a
+// naive fixed TTL that ignores how stale the entry already was when it
+// was filled.
+type FreshnessCacheArm struct {
+	Name string
+	// Violations is freshness.bound_violations — served reads (node- or
+	// cache-served) whose effective staleness exceeded the 3 s bound.
+	Violations uint64
+	// Audited counts every bound="3" observation (node reads and cache
+	// hits both flow through the same auditor).
+	Audited uint64
+	// HistMaxSecs is the audit histogram's maximum observed staleness.
+	HistMaxSecs int64
+	// Hits/Misses/Expired are the cache counters.
+	Hits, Misses, Expired uint64
+	// Reads counts reads issued (SecondaryReads the secondary-flipped,
+	// bound-declaring subset); TrueMaxLagSecs is ground-truth worst lag
+	// from the independent sampler.
+	Reads          int
+	SecondaryReads int
+	TrueMaxLagSecs int64
+	// PinnedTraces counts traces pinned by violations.
+	PinnedTraces int
+}
+
+// FreshnessCacheResult pairs the priced arm against the naive-TTL arm.
+type FreshnessCacheResult struct {
+	Title     string
+	BoundSecs int64
+	Priced    FreshnessCacheArm
+	NaiveTTL  FreshnessCacheArm
+}
+
+// naiveTTLSecs is the naive arm's fixed TTL. It equals the declared
+// bound — the configuration that looks obviously safe — and still
+// violates, because a fixed TTL prices every entry as if it were
+// filled perfectly fresh.
+const naiveTTLSecs = 3
+
+// RunFreshnessCache runs the PR 10 experiment: the sawtooth-lag
+// cluster and gated router of RunFreshnessAudit, now with the driver's
+// freshness-priced read cache in front. The priced arm spends the
+// remaining staleness budget (bound − fill staleness − guard band) and
+// records zero violations; the naive arm serves any entry younger than
+// a fixed TTL and gets flagged by the same auditor the moment an
+// entry's age plus its staleness at fill time exceeds the bound.
+// Virtual-time only: both arms are deterministic in the seed.
+func RunFreshnessCache(seed int64, runFor time.Duration) *FreshnessCacheResult {
+	if runFor <= 0 {
+		runFor = 120 * time.Second
+	}
+	res := &FreshnessCacheResult{
+		Title:     fmt.Sprintf("Freshness-priced cache vs naive %ds TTL under 6s sawtooth lag, %ds bound", naiveTTLSecs, freshnessBound),
+		BoundSecs: freshnessBound,
+	}
+	res.Priced = runFreshnessCacheArm(seed, runFor, cache.Config{}, "priced")
+	res.NaiveTTL = runFreshnessCacheArm(seed, runFor, cache.Config{NaiveTTLSecs: naiveTTLSecs}, "naive-ttl")
+	return res
+}
+
+func runFreshnessCacheArm(seed int64, runFor time.Duration, ccfg cache.Config, name string) FreshnessCacheArm {
+	env := sim.NewEnv(seed)
+	defer env.Shutdown()
+	rs := cluster.New(env, freshnessClusterConfig())
+	rs.Tracer().SetSampling(1)
+
+	arm := FreshnessCacheArm{Name: name}
+	params := core.DefaultParams()
+	// The serving-side guard band: the balancer gates one second below
+	// the 3 s bound the readers declare. The gate works off serverStatus
+	// polls, and between two polls the primary's applied OpTime can
+	// advance one more second — gating at bound−1 absorbs that race, so
+	// no node-served read is ever beyond the declared bound and any
+	// violation in this experiment is the cache policy's alone.
+	params.StaleBound = freshnessBound - 1
+	params.StalenessPoll = 100 * time.Millisecond
+	// A high balance floor: most gate-open reads flip to Secondary and
+	// so declare the bound — those are the reads the cache prices.
+	params.LowBalPct = 80
+	sys := core.NewSystem(env, driver.WrapCluster(rs), params)
+	if sys.Client.EnableCache(env, ccfg) == nil {
+		panic("experiments: connection lacks FreshConn")
+	}
+	sys.Client.StartMonitor(env, 10*time.Second)
+
+	// Same steady writer as the audit experiment: the primary's applied
+	// OpTime advances every 250 ms while secondaries refresh only every
+	// 6 s, so their staleness sawtooths across the 3 s bound. The hot
+	// key w000 is written once up front and never again, so its cache
+	// entries live and die by the freshness rule alone, not by
+	// write-through invalidation.
+	env.Spawn("exp/freshcache-writer", func(p sim.Proc) {
+		for i := 0; ; i++ {
+			key := fmt.Sprintf("w%03d", 1+i%255)
+			if i == 0 {
+				key = "w000"
+			}
+			if _, _, err := sys.Client.Write(p, func(tx cluster.WriteTxn) (any, error) {
+				return nil, tx.Set("kv", key, storage.D{"v": int64(i)})
+			}); err != nil {
+				return
+			}
+			p.Sleep(250 * time.Millisecond)
+		}
+	})
+
+	primary := rs.PrimaryID()
+	trueMax := new(int64)
+	sim.Every(env, "exp/freshcache-lag-sampler", 200*time.Millisecond, func(p sim.Proc) {
+		for _, id := range rs.NodeIDs() {
+			if id == primary {
+				continue
+			}
+			if lag := rs.Primary().LastApplied().LagSeconds(rs.Node(id).LastApplied()); lag > *trueMax {
+				*trueMax = lag
+			}
+		}
+	})
+
+	// Readers hammer the hot key, flipping the router's biased coin for
+	// the preference but declaring the full 3 s bound (the core router
+	// would declare the gate's tightened bound instead — the experiment
+	// separates "what the gate enforces" from "what the client promised").
+	counts := struct{ reads, secondary int }{}
+	for i := 0; i < 3; i++ {
+		offset := time.Duration(i) * 55 * time.Millisecond
+		env.Spawn(fmt.Sprintf("exp/freshcache-reader-%d", i), func(p sim.Proc) {
+			p.Sleep(offset)
+			for {
+				pref := sys.Router.Choose()
+				opts := driver.ReadOptions{Pref: pref}
+				if pref == driver.Secondary {
+					opts.AuditBoundSecs = freshnessBound
+				}
+				if _, _, _, err := sys.Client.Read(p, opts, func(v cluster.ReadView) (any, error) {
+					v.FindByID("kv", "w000")
+					return nil, nil
+				}); err == nil {
+					counts.reads++
+					if pref == driver.Secondary {
+						counts.secondary++
+					}
+				}
+				p.Sleep(150 * time.Millisecond)
+			}
+		})
+	}
+
+	env.Run(runFor)
+
+	snap := rs.Metrics().Snapshot()
+	arm.Violations = snap.CounterValue("freshness.bound_violations")
+	arm.TrueMaxLagSecs = *trueMax
+	arm.Reads = counts.reads
+	arm.SecondaryReads = counts.secondary
+	arm.Hits = snap.CounterValue("cache.hits")
+	arm.Misses = snap.CounterValue("cache.misses")
+	arm.Expired = snap.CounterValue("cache.expired")
+	hist := obs.Name("freshness.observed_staleness_secs", "bound",
+		fmt.Sprintf("%d", freshnessBound))
+	if inst, ok := snap.Get(hist); ok && inst.Hist != nil {
+		arm.Audited = inst.Hist.Count
+		arm.HistMaxSecs = int64(inst.Hist.Max)
+	}
+	arm.PinnedTraces = len(rs.Tracer().Pinned())
+	return arm
+}

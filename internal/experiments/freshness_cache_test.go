@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFreshnessCache asserts the PR 10 headline: under sawtooth lag
+// that straddles the bound, the freshness-priced cache serves hits with
+// zero bound violations, while a naive fixed TTL equal to the bound —
+// the configuration that looks safe — is caught violating by the same
+// auditor, because a TTL prices every entry as if it were filled
+// perfectly fresh.
+func TestFreshnessCache(t *testing.T) {
+	res := RunFreshnessCache(701, 120*time.Second)
+
+	p := res.Priced
+	if p.TrueMaxLagSecs <= res.BoundSecs {
+		t.Fatalf("priced arm: true lag (max %ds) never exceeded the bound (%ds); the experiment is not stressing anything",
+			p.TrueMaxLagSecs, res.BoundSecs)
+	}
+	if p.Hits == 0 {
+		t.Fatalf("priced arm: no cache hits — the budget was never spent locally: %+v", p)
+	}
+	if p.Violations != 0 {
+		t.Errorf("priced arm: %d bound violations, want 0: %+v", p.Violations, p)
+	}
+	if p.PinnedTraces != 0 {
+		t.Errorf("priced arm: %d pinned traces, want 0", p.PinnedTraces)
+	}
+	if p.HistMaxSecs > res.BoundSecs {
+		t.Errorf("priced arm: audit histogram max %ds exceeds the %ds bound", p.HistMaxSecs, res.BoundSecs)
+	}
+	if p.Audited == 0 {
+		t.Errorf("priced arm: nothing audited — cache hits are not flowing through the auditor")
+	}
+
+	n := res.NaiveTTL
+	if n.TrueMaxLagSecs <= res.BoundSecs {
+		t.Fatalf("naive arm: true lag (max %ds) never exceeded the bound (%ds)", n.TrueMaxLagSecs, res.BoundSecs)
+	}
+	if n.Hits == 0 {
+		t.Fatalf("naive arm: no cache hits: %+v", n)
+	}
+	if n.Violations == 0 {
+		t.Errorf("naive arm: fixed TTL recorded zero violations — the experiment no longer discriminates: %+v", n)
+	}
+	if n.HistMaxSecs <= res.BoundSecs {
+		t.Errorf("naive arm: audit histogram max %ds never exceeded the %ds bound", n.HistMaxSecs, res.BoundSecs)
+	}
+}
+
+// TestFreshnessCacheDeterministic: same seed, same result — the
+// experiment runs entirely in virtual time.
+func TestFreshnessCacheDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full experiment runs")
+	}
+	a := RunFreshnessCache(702, 90*time.Second)
+	b := RunFreshnessCache(702, 90*time.Second)
+	if *a != *b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", *a, *b)
+	}
+}

@@ -128,6 +128,9 @@ func (r *Router) MigrateChunk(p sim.Proc, key string, to int, opts MigrateOption
 		}
 		return err
 	}
+	// The destination owns the range now; cached copies of its
+	// documents were filled under the old owner and table version.
+	r.invalidateChunk(ck, opts.Collections)
 	r.migrationsDone.Inc(1)
 	return nil
 }

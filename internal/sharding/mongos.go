@@ -77,13 +77,13 @@ func (m *Mongos) Dispatch(p sim.Proc, req *wire.Request, binary bool, tctx trace
 			Members: []wire.Member{{ID: 0, Primary: true}},
 		}
 	case wire.OpFindByID:
-		doc, err := m.findByID(p, req.Collection, req.DocID)
+		doc, err := m.findByID(p, req.Collection, req.DocID, req.BoundSecs)
 		if err != nil {
 			return fail(err)
 		}
 		resp.SetDoc(binary, doc)
 	case wire.OpFindMany:
-		docs, err := m.findMany(p, req.Collection, req.IDs)
+		docs, err := m.findMany(p, req.Collection, req.IDs, req.BoundSecs)
 		if err != nil {
 			return fail(err)
 		}
@@ -133,15 +133,17 @@ func (m *Mongos) Dispatch(p sim.Proc, req *wire.Request, binary bool, tctx trace
 	return resp
 }
 
-func (m *Mongos) findByID(p sim.Proc, collection, id string) (storage.Document, error) {
-	doc, _, _, err := m.router.ReadByID(p, collection, id)
+// findByID routes a point read, spending the request's declared
+// freshness bound against the router cache first when one is enabled.
+func (m *Mongos) findByID(p sim.Proc, collection, id string, boundSecs int64) (storage.Document, error) {
+	doc, _, _, err := m.router.ReadByIDBounded(p, collection, id, boundSecs)
 	return doc, err
 }
 
-func (m *Mongos) findMany(p sim.Proc, collection string, ids []string) ([]storage.Document, error) {
+func (m *Mongos) findMany(p sim.Proc, collection string, ids []string, boundSecs int64) ([]storage.Document, error) {
 	var docs []storage.Document
 	for _, id := range ids {
-		d, _, _, err := m.router.ReadByID(p, collection, id)
+		d, _, _, err := m.router.ReadByIDBounded(p, collection, id, boundSecs)
 		if err != nil {
 			return nil, err
 		}
@@ -190,6 +192,7 @@ func (m *Mongos) writeBatch(p sim.Proc, muts []wire.Mutation) error {
 		if err != nil {
 			return err
 		}
+		m.router.invalidateKey(coll, key)
 	}
 	return nil
 }

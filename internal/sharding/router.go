@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"decongestant/internal/cache"
 	"decongestant/internal/cluster"
 	"decongestant/internal/core"
 	"decongestant/internal/driver"
@@ -44,6 +45,13 @@ type Router struct {
 	reg        *obs.Registry
 	tracer     *trace.Recorder
 	seqScatter bool
+
+	// Router-side freshness-priced cache (nil when disabled; see
+	// cache.go). auditors holds each shard conn's CacheAuditor
+	// capability (nil entries for conns that lack it), resolved once at
+	// EnableCache so hits never type-assert.
+	rcache   *cache.Cache
+	auditors []driver.CacheAuditor
 
 	staleRetries     *obs.Counter
 	scatterPartial   *obs.Counter
@@ -270,6 +278,9 @@ func (r *Router) Upsert(p sim.Proc, collection, id string, fields storage.Docume
 		lat = lt
 		return err
 	})
+	if err == nil {
+		r.invalidateKey(collection, id)
+	}
 	return lat, err
 }
 
@@ -288,6 +299,9 @@ func (r *Router) Insert(p sim.Proc, collection string, doc storage.Document) (ti
 		lat = lt
 		return err
 	})
+	if err == nil {
+		r.invalidateKey(collection, id)
+	}
 	return lat, err
 }
 
@@ -302,6 +316,9 @@ func (r *Router) Delete(p sim.Proc, collection, id string) (time.Duration, error
 		lat = lt
 		return err
 	})
+	if err == nil {
+		r.invalidateKey(collection, id)
+	}
 	return lat, err
 }
 

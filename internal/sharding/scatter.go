@@ -228,10 +228,12 @@ func (r *Router) scatterCount(p sim.Proc, tctx trace.Context, collection string,
 	// present on both source and destination — is counted exactly once.
 	// Registration precedes the snapshot: cleanup of a just-moved range
 	// drains these entries first, so the copy being counted stays
-	// intact. A filter already constraining _id keeps the plain path
-	// (the bound below would clobber the caller's condition).
+	// intact. A caller-supplied _id condition intersects with each
+	// chunk's range (two-sided range conditions carry the interval), so
+	// _id-constrained filters get the same exactness guarantee instead
+	// of falling back to the overcount-prone per-shard sum.
 	var table *ChunkMap
-	if _, hasID := f["_id"]; !hasID && r.auth != nil {
+	if r.auth != nil {
 		var guards []lease
 		table, guards = r.auth.enterScatter()
 		defer func() {
@@ -272,34 +274,125 @@ func (r *Router) scatterCount(p sim.Proc, tctx trace.Context, collection string,
 }
 
 // chunkCount counts the f-matching documents inside [ck.Min, ck.Max)
-// under one read view. Filters carry at most one condition per field,
-// so the half-open range is the difference of two lower-bounded
-// counts: N(_id >= Min) - N(_id >= Max). Both scans run against the
-// same view; the clamp guards the remote view, whose two counts are
-// separate wire reads and may straddle a concurrent write.
+// under one read view. Two-sided range conditions let the chunk bound
+// and any caller-supplied _id condition merge into one closed-interval
+// count — a single scan even against a remote view, so there is no
+// pair of wire reads to straddle a concurrent write. Only the $ne
+// shape still needs a difference (the interval minus the excluded
+// point); its clamp guards the remote view, where those two counts are
+// separate round trips.
 func chunkCount(v cluster.ReadView, collection string, f storage.Filter, ck Chunk) int {
-	n := v.Count(collection, withIDBound(f, ck.Min))
-	if ck.Max != "" {
-		n -= v.Count(collection, withIDBound(f, ck.Max))
+	g, empty, excluded := chunkFilter(f, ck)
+	if empty {
+		return 0
 	}
-	if n < 0 {
-		n = 0
+	n := v.Count(collection, g)
+	if excluded != "" {
+		h := make(storage.Filter, len(g)+1)
+		for k, c := range g {
+			h[k] = c
+		}
+		h["_id"] = storage.Eq(excluded)
+		n -= v.Count(collection, h)
+		if n < 0 {
+			n = 0
+		}
 	}
 	return n
 }
 
-// withIDBound returns f with an added _id >= min condition ("" means
-// -inf: f is returned unchanged).
-func withIDBound(f storage.Filter, min string) storage.Filter {
-	if min == "" {
-		return f
+// chunkFilter returns f with its _id condition intersected with the
+// chunk's [Min, Max) range. empty=true means the intersection is
+// provably empty (count 0, no scan needed). excluded carries the
+// single in-range _id a $ne condition removes; the caller subtracts
+// its count separately, since a condition slot holds at most an
+// interval. All _ids are strings, so a non-string bound is
+// type-bracketed: equality/range/$in shapes match nothing, while $ne
+// and $exists are vacuously true.
+func chunkFilter(f storage.Filter, ck Chunk) (g storage.Filter, empty bool, excluded string) {
+	lo, hi := ck.Min, ck.Max
+	var inIDs []any
+	cnd, has := f["_id"]
+	if has {
+		switch {
+		case cnd.Op == storage.OpEq:
+			s, ok := cnd.Value.(string)
+			if !ok || !keyInRange(s, lo, hi) {
+				return nil, true, ""
+			}
+			// The equality is at least as tight as the chunk bound, and
+			// only the owning chunk reaches here: count it as-is.
+			return f, false, ""
+		case cnd.Op == storage.OpIn:
+			for _, v := range cnd.Values {
+				if s, ok := v.(string); ok && keyInRange(s, lo, hi) {
+					inIDs = append(inIDs, s)
+				}
+			}
+			if len(inIDs) == 0 {
+				return nil, true, ""
+			}
+		case cnd.Op == storage.OpNe:
+			if s, ok := cnd.Value.(string); ok && keyInRange(s, lo, hi) {
+				excluded = s
+			}
+		case cnd.Op == storage.OpExists:
+			// _id always exists; the chunk bound alone remains.
+		case storage.IsRangeOp(cnd.Op):
+			tighten := func(op storage.Op, v any) bool {
+				s, ok := v.(string)
+				if !ok {
+					return false
+				}
+				switch op {
+				case storage.OpGt:
+					s += "\x00" // successor: Gt s == Gte s+"\x00" on raw strings
+					fallthrough
+				case storage.OpGte:
+					if s > lo {
+						lo = s
+					}
+				case storage.OpLte:
+					s += "\x00"
+					fallthrough
+				case storage.OpLt:
+					if hi == "" || s < hi {
+						hi = s
+					}
+				}
+				return true
+			}
+			if !tighten(cnd.Op, cnd.Value) {
+				return nil, true, ""
+			}
+			if cnd.Op2 != 0 && !tighten(cnd.Op2, cnd.Value2) {
+				return nil, true, ""
+			}
+		default:
+			// An unknown condition shape matches nothing.
+			return nil, true, ""
+		}
 	}
-	out := make(storage.Filter, len(f)+1)
+	if hi != "" && hi <= lo {
+		return nil, true, ""
+	}
+	g = make(storage.Filter, len(f)+1)
 	for k, c := range f {
-		out[k] = c
+		g[k] = c
 	}
-	out["_id"] = storage.Gte(min)
-	return out
+	switch {
+	case inIDs != nil:
+		g["_id"] = storage.Cond{Op: storage.OpIn, Values: inIDs}
+	case lo == "" && hi == "":
+		delete(g, "_id") // whole-keyspace chunk, no residual bound
+	case hi == "":
+		g["_id"] = storage.Gte(lo)
+	case lo == "":
+		g["_id"] = storage.Lt(hi)
+	default:
+		g["_id"] = storage.Range(lo, hi)
+	}
+	return g, false, excluded
 }
 
 func sorted(docs []storage.Document) bool {

@@ -412,13 +412,6 @@ func (c *Collection) FindByIDEncoded(id string) (*EncodedDoc, bool) {
 	return c.docs.Get(id)
 }
 
-// FindByIDShared is an alias of FindByID, kept for callers written
-// against the pre-copy-on-write API where only this variant skipped
-// the defensive deep copy.
-func (c *Collection) FindByIDShared(id string) (Document, bool) {
-	return c.FindByID(id)
-}
-
 // Find returns the committed documents matching the filter, up to
 // limit (0 = no limit). It uses a secondary index when the filter has
 // equality conditions on an index's leading fields (optionally followed
@@ -448,7 +441,7 @@ func (c *Collection) Find(f Filter, limit int) []Document {
 		})
 		return out
 	}
-	c.docs.AscendAll(func(id string, e *EncodedDoc) bool { return emit(e.doc) })
+	c.scanIDRange(f, func(id string, e *EncodedDoc) bool { return emit(e.doc) })
 	return out
 }
 
@@ -479,14 +472,8 @@ func (c *Collection) FindEncoded(f Filter, limit int) []*EncodedDoc {
 		})
 		return out
 	}
-	c.docs.AscendAll(func(id string, e *EncodedDoc) bool { return emit(e) })
+	c.scanIDRange(f, func(id string, e *EncodedDoc) bool { return emit(e) })
 	return out
-}
-
-// FindShared is an alias of Find, kept for callers written against the
-// pre-copy-on-write API.
-func (c *Collection) FindShared(f Filter, limit int) []Document {
-	return c.Find(f, limit)
 }
 
 // Count returns the number of documents matching the filter.
@@ -503,13 +490,77 @@ func (c *Collection) Count(f Filter) int {
 		})
 		return n
 	}
-	c.docs.AscendAll(func(id string, e *EncodedDoc) bool {
+	c.scanIDRange(f, func(id string, e *EncodedDoc) bool {
 		if f.Matches(e.doc) {
 			n++
 		}
 		return true
 	})
 	return n
+}
+
+// scanIDRange walks the primary tree over the slice selected by the
+// filter's _id condition — the whole tree when the filter has no
+// usable _id bound. Residual matching stays with the caller; this only
+// narrows the walk. Caller holds c.mu.
+func (c *Collection) scanIDRange(f Filter, fn func(id string, e *EncodedDoc) bool) {
+	lo, hi, ok := planIDRange(f)
+	switch {
+	case !ok:
+		c.docs.AscendAll(fn)
+	case hi == "":
+		c.docs.Ascend(lo, fn)
+	default:
+		c.docs.Range(lo, hi, fn)
+	}
+}
+
+// planIDRange resolves a filter's _id condition into a primary-key
+// interval [lo, hi) ("" hi = unbounded). An equality becomes a
+// single-key interval; one- and two-sided string ranges map directly
+// (ids compare as raw strings, and s+"\x00" is the successor of s).
+// ok=false means the condition does not bound the scan.
+func planIDRange(f Filter) (lo, hi string, ok bool) {
+	cnd, present := f["_id"]
+	if !present {
+		return "", "", false
+	}
+	bound := func(op Op, v any) bool {
+		s, isStr := v.(string)
+		if !isStr {
+			return false
+		}
+		switch op {
+		case OpGt:
+			lo = s + "\x00"
+		case OpGte:
+			lo = s
+		case OpLt:
+			hi = s
+		case OpLte:
+			hi = s + "\x00"
+		default:
+			return false
+		}
+		return true
+	}
+	switch {
+	case cnd.Op == OpEq:
+		id, isStr := cnd.Value.(string)
+		if !isStr {
+			return "", "", false
+		}
+		return id, id + "\x00", true
+	case IsRangeOp(cnd.Op):
+		if !bound(cnd.Op, cnd.Value) {
+			return "", "", false
+		}
+		if cnd.Op2 != 0 && !bound(cnd.Op2, cnd.Value2) {
+			return "", "", false
+		}
+		return lo, hi, true
+	}
+	return "", "", false
 }
 
 // planIndex picks an index usable for the filter and returns the scan
@@ -533,22 +584,30 @@ func (c *Collection) planIndex(f Filter) (*Index, string, string) {
 				score = i + 1
 				continue
 			}
-			// One trailing range condition is usable.
-			if cnd.Op == OpGt || cnd.Op == OpGte || cnd.Op == OpLt || cnd.Op == OpLte {
+			// One trailing range condition is usable — one-sided, or a
+			// two-sided interval carried in Op2/Value2, which scans the
+			// closed interval [lo, hi) instead of one side of the prefix
+			// plus residual filtering.
+			if IsRangeOp(cnd.Op) {
 				prefix := string(enc)
-				switch cnd.Op {
-				case OpGt, OpGte:
-					lo = string(AppendKey([]byte(prefix), cnd.Value))
-					if cnd.Op == OpGt {
-						lo = PrefixSuccessor(lo)
+				lo, hi = prefix, PrefixSuccessor(prefix)
+				apply := func(op Op, val any) {
+					switch op {
+					case OpGt, OpGte:
+						lo = string(AppendKey([]byte(prefix), val))
+						if op == OpGt {
+							lo = PrefixSuccessor(lo)
+						}
+					case OpLt, OpLte:
+						hi = string(AppendKey([]byte(prefix), val))
+						if op == OpLte {
+							hi = PrefixSuccessor(hi)
+						}
 					}
-					hi = PrefixSuccessor(prefix)
-				case OpLt, OpLte:
-					lo = prefix
-					hi = string(AppendKey([]byte(prefix), cnd.Value))
-					if cnd.Op == OpLte {
-						hi = PrefixSuccessor(hi)
-					}
+				}
+				apply(cnd.Op, cnd.Value)
+				if cnd.Op2 != 0 {
+					apply(cnd.Op2, cnd.Value2)
 				}
 				score = i + 1
 			}

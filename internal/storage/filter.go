@@ -18,11 +18,19 @@ const (
 	OpExists
 )
 
-// Cond is a single condition on a field.
+// Cond is a single condition on a field. A range condition (OpGt,
+// OpGte, OpLt, OpLte) may carry a second range bound in Op2/Value2,
+// making the condition a two-sided interval on one field — e.g.
+// {$gte: lo, $lt: hi} — which planIndex turns into a closed-interval
+// index scan instead of a one-sided scan plus residual filtering.
+// Op2 is meaningful only when the primary op is a range op; the zero
+// Op2 means no second bound.
 type Cond struct {
 	Op     Op
 	Value  any
 	Values []any // for OpIn
+	Op2    Op    // optional second range bound (OpGt/OpGte/OpLt/OpLte)
+	Value2 any
 }
 
 // Filter maps field paths to conditions; all must match.
@@ -36,6 +44,29 @@ func Gte(v any) Cond { return Cond{Op: OpGte, Value: mustNormalize(v)} }
 func Lt(v any) Cond  { return Cond{Op: OpLt, Value: mustNormalize(v)} }
 func Lte(v any) Cond { return Cond{Op: OpLte, Value: mustNormalize(v)} }
 func Exists() Cond   { return Cond{Op: OpExists} }
+
+// Range builds the half-open two-sided condition lo <= x < hi.
+func Range(lo, hi any) Cond {
+	return Cond{Op: OpGte, Value: mustNormalize(lo), Op2: OpLt, Value2: mustNormalize(hi)}
+}
+
+// IsRangeOp reports whether op is an ordering comparison usable as an
+// interval bound.
+func IsRangeOp(op Op) bool {
+	return op == OpGt || op == OpGte || op == OpLt || op == OpLte
+}
+
+// And combines two one-sided range conditions on the same field into a
+// two-sided condition. Both operands must be range conditions without
+// second bounds; anything else panics (a programming error, like an
+// unindexable key type).
+func (c Cond) And(other Cond) Cond {
+	if !IsRangeOp(c.Op) || c.Op2 != 0 || !IsRangeOp(other.Op) || other.Op2 != 0 {
+		panic("storage: Cond.And requires two one-sided range conditions")
+	}
+	c.Op2, c.Value2 = other.Op, other.Value
+	return c
+}
 func In(vs ...any) Cond {
 	out := make([]any, len(vs))
 	for i, v := range vs {
@@ -85,11 +116,23 @@ func (c Cond) matches(v any, present bool) bool {
 	if !present {
 		return false
 	}
-	cmp, ok := Compare(v, c.Value)
+	if !rangeMatches(c.Op, v, c.Value) {
+		return false
+	}
+	if c.Op2 != 0 {
+		return rangeMatches(c.Op2, v, c.Value2)
+	}
+	return true
+}
+
+// rangeMatches evaluates one ordering comparison; non-range ops and
+// type-bracketed incomparable values fail.
+func rangeMatches(op Op, v, bound any) bool {
+	cmp, ok := Compare(v, bound)
 	if !ok {
 		return false
 	}
-	switch c.Op {
+	switch op {
 	case OpGt:
 		return cmp > 0
 	case OpGte:

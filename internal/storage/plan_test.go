@@ -142,18 +142,6 @@ func BenchmarkStorageFindByID(b *testing.B) {
 	}
 }
 
-func BenchmarkStorageFindByIDShared(b *testing.B) {
-	c := NewStore().C("bench")
-	for i := 0; i < 100000; i++ {
-		c.Insert(D{"_id": fmt.Sprintf("k%d", i), "n": i})
-	}
-	rng := rand.New(rand.NewSource(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.FindByIDShared(fmt.Sprintf("k%d", rng.Intn(100000)))
-	}
-}
-
 func BenchmarkStorageIndexedFind(b *testing.B) {
 	c := NewStore().C("bench")
 	c.CreateIndex("wdo", false, "w", "d", "o")

@@ -26,13 +26,20 @@ func (b *rsBackend) Tracer() *trace.Recorder { return b.rs.Tracer() }
 // The trace context and declared staleness bound travel into the
 // cluster layer, which records the node-exec span and audits observed
 // staleness on secondary-served reads.
-func (b *rsBackend) execRead(p sim.Proc, req *Request, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, error) {
+func (b *rsBackend) execRead(p sim.Proc, req *Request, tctx trace.Context, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, int64, error) {
 	after := oplog.OpTime{Secs: req.AfterSecs, Inc: req.AfterInc}
 	meta := cluster.ReadMeta{Ctx: tctx, BoundSecs: req.BoundSecs}
 	if req.ReadConcern == RCLinearizable {
-		return b.rs.ExecReadLinearizableMeta(p, req.Node, after, meta, fn)
+		res, ts, err := b.rs.ExecReadLinearizableMeta(p, req.Node, after, meta, fn)
+		return res, ts, 0, err
 	}
-	return b.rs.ExecReadMeta(p, req.Node, after, meta, fn)
+	if req.WantFresh {
+		// The caller is filling a freshness-priced cache: report the
+		// staleness the serving node observed (Response.StaleSecs).
+		return b.rs.ExecReadFreshMeta(p, req.Node, after, meta, fn)
+	}
+	res, ts, err := b.rs.ExecReadMeta(p, req.Node, after, meta, fn)
+	return res, ts, 0, err
 }
 
 // Dispatch implements Backend for a replica set.
@@ -78,7 +85,7 @@ func (b *rsBackend) Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.C
 		}
 		resp.Status = body
 	case OpFindByID:
-		res, ts, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
+		res, ts, stale, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
 			if binary {
 				if ev, ok := v.(cluster.EncodedReadView); ok {
 					if e, found := ev.FindByIDEncoded(req.Collection, req.DocID); found {
@@ -96,7 +103,7 @@ func (b *rsBackend) Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.C
 		if err != nil {
 			return fail(err)
 		}
-		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		resp.OpSecs, resp.OpInc, resp.StaleSecs = ts.Secs, ts.Inc, stale
 		switch d := res.(type) {
 		case *storage.EncodedDoc:
 			resp.Found = true
@@ -108,7 +115,7 @@ func (b *rsBackend) Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.C
 			}
 		}
 	case OpFindMany:
-		res, ts, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
+		res, ts, stale, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
 			if binary {
 				if ev, ok := v.(cluster.EncodedReadView); ok {
 					return ev.FindManyByIDEncoded(req.Collection, req.IDs), nil
@@ -119,14 +126,14 @@ func (b *rsBackend) Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.C
 		if err != nil {
 			return fail(err)
 		}
-		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		resp.OpSecs, resp.OpInc, resp.StaleSecs = ts.Secs, ts.Inc, stale
 		fillDocs(resp, binary, res)
 	case OpFind:
 		filter, err := req.filterValue()
 		if err != nil {
 			return fail(err)
 		}
-		res, ts, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
+		res, ts, stale, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
 			if binary {
 				if ev, ok := v.(cluster.EncodedReadView); ok {
 					return ev.FindEncoded(req.Collection, filter, req.Limit), nil
@@ -137,20 +144,20 @@ func (b *rsBackend) Dispatch(p sim.Proc, req *Request, binary bool, tctx trace.C
 		if err != nil {
 			return fail(err)
 		}
-		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		resp.OpSecs, resp.OpInc, resp.StaleSecs = ts.Secs, ts.Inc, stale
 		fillDocs(resp, binary, res)
 	case OpCount:
 		filter, err := req.filterValue()
 		if err != nil {
 			return fail(err)
 		}
-		res, ts, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
+		res, ts, stale, err := b.execRead(p, req, tctx, func(v cluster.ReadView) (any, error) {
 			return v.Count(req.Collection, filter), nil
 		})
 		if err != nil {
 			return fail(err)
 		}
-		resp.OpSecs, resp.OpInc = ts.Secs, ts.Inc
+		resp.OpSecs, resp.OpInc, resp.StaleSecs = ts.Secs, ts.Inc, stale
 		resp.Count = res.(int)
 	case OpWriteBatch:
 		_, commitTS, err := b.rs.ExecWriteConcernMeta(p, cluster.W1, cluster.ReadMeta{Ctx: tctx}, func(tx cluster.WriteTxn) (any, error) {

@@ -44,29 +44,31 @@ const (
 	rqBound       = 16 // varint audited staleness bound, seconds
 	rqSpans       = 17 // uvarint length + JSON bytes (trace_push payload)
 	rqReadConcern = 18 // varint read concern (see the RC constants)
+	rqWantFresh   = 19 // flag byte: report observed staleness in the response
 )
 
 // Response field tags.
 const (
-	rsID      = 1  // uvarint
-	rsErr     = 2  // string
-	rsFound   = 3  // byte
-	rsDoc     = 4  // BSON-lite document
-	rsDocs    = 5  // uvarint count + BSON-lite documents
-	rsCount   = 6  // varint
-	rsTopo    = 7  // varint primary + uvarint count + zone strings
-	rsStatus  = 8  // see appendStatus
-	rsOpSecs  = 9  // varint
-	rsOpInc   = 10 // uvarint
-	rsMetrics = 11 // uvarint length + JSON bytes
-	rsCode    = 12 // varint error code (classifies rsErr)
-	rsSpans   = 13 // uvarint length + JSON bytes (trace op result)
-	rsOps     = 14 // uvarint length + JSON bytes (current_op result)
-	rsShards  = 15 // uvarint count + (varint id, string addr) rows
-	rsChunks  = 16 // uvarint version + uvarint count + chunk rows
-	rsEntries = 17 // uvarint count + oplog entry rows
-	rsTruncS  = 18 // varint oplog truncation horizon, seconds part
-	rsTruncI  = 19 // uvarint oplog truncation horizon, inc part
+	rsID        = 1  // uvarint
+	rsErr       = 2  // string
+	rsFound     = 3  // byte
+	rsDoc       = 4  // BSON-lite document
+	rsDocs      = 5  // uvarint count + BSON-lite documents
+	rsCount     = 6  // varint
+	rsTopo      = 7  // varint primary + uvarint count + zone strings
+	rsStatus    = 8  // see appendStatus
+	rsOpSecs    = 9  // varint
+	rsOpInc     = 10 // uvarint
+	rsMetrics   = 11 // uvarint length + JSON bytes
+	rsCode      = 12 // varint error code (classifies rsErr)
+	rsSpans     = 13 // uvarint length + JSON bytes (trace op result)
+	rsOps       = 14 // uvarint length + JSON bytes (current_op result)
+	rsShards    = 15 // uvarint count + (varint id, string addr) rows
+	rsChunks    = 16 // uvarint version + uvarint count + chunk rows
+	rsEntries   = 17 // uvarint count + oplog entry rows
+	rsTruncS    = 18 // varint oplog truncation horizon, seconds part
+	rsTruncI    = 19 // uvarint oplog truncation horizon, inc part
+	rsStaleSecs = 20 // varint observed staleness (answers rqWantFresh)
 )
 
 // opCodes maps op names to single-byte codes for the binary codec;
@@ -347,6 +349,10 @@ func encodeRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, rqReadConcern)
 		dst = binary.AppendVarint(dst, int64(r.ReadConcern))
 	}
+	if r.WantFresh {
+		dst = binary.AppendUvarint(dst, rqWantFresh)
+		dst = append(dst, 1)
+	}
 	return dst, nil
 }
 
@@ -461,6 +467,14 @@ func decodeRequest(b []byte, r *Request) error {
 			if v, b, err = getVarint(b); err == nil {
 				r.ReadConcern = int(v)
 			}
+		case rqWantFresh:
+			var v byte
+			if v, b, err = getByte(b); err == nil {
+				if v != 1 {
+					return fmt.Errorf("%w: want_fresh flag %d", errBadFrame, v)
+				}
+				r.WantFresh = true
+			}
 		default:
 			return fmt.Errorf("%w: request tag %d", errBadFrame, tag)
 		}
@@ -471,21 +485,37 @@ func decodeRequest(b []byte, r *Request) error {
 	return nil
 }
 
+// twoSidedBit marks a two-sided range condition in the filter op byte:
+// when set, a second op byte and bound value follow the first value.
+const twoSidedBit = 0x80
+
 // appendFilter encodes a storage.Filter: uvarint condition count, then
-// per condition the field name, a 1-byte op, the value (BSON-lite, nil
-// encoded explicitly) and a uvarint-counted value list. Values are
+// per condition the field name, a 1-byte op (high bit = two-sided),
+// the value (BSON-lite, nil encoded explicitly), the optional second
+// op byte + bound, and a uvarint-counted value list. Values are
 // normalized defensively so hand-built filters with plain ints still
 // encode.
 func appendFilter(dst []byte, f storage.Filter) ([]byte, error) {
 	dst = binary.AppendUvarint(dst, uint64(len(f)))
 	for field, c := range f {
 		dst = appendString(dst, field)
-		dst = append(dst, byte(c.Op))
+		opByte := byte(c.Op)
+		if c.Op2 != 0 {
+			opByte |= twoSidedBit
+		}
+		dst = append(dst, opByte)
 		v, err := storage.Normalize(c.Value)
 		if err != nil {
 			return nil, err
 		}
 		dst = storage.AppendValue(dst, v)
+		if c.Op2 != 0 {
+			dst = append(dst, byte(c.Op2))
+			if v, err = storage.Normalize(c.Value2); err != nil {
+				return nil, err
+			}
+			dst = storage.AppendValue(dst, v)
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(c.Values)))
 		for _, e := range c.Values {
 			if v, err = storage.Normalize(e); err != nil {
@@ -518,6 +548,8 @@ func decodeFilter(b []byte) (storage.Filter, []byte, error) {
 		if op, b, err = getByte(b); err != nil {
 			return nil, nil, err
 		}
+		twoSided := op&twoSidedBit != 0
+		op &^= twoSidedBit
 		if storage.Op(op) > storage.OpExists {
 			return nil, nil, fmt.Errorf("%w: filter op %d", errBadFrame, op)
 		}
@@ -525,6 +557,19 @@ func decodeFilter(b []byte) (storage.Filter, []byte, error) {
 		c.Op = storage.Op(op)
 		if c.Value, b, err = storage.DecodeValue(b); err != nil {
 			return nil, nil, errBadFrame
+		}
+		if twoSided {
+			var op2 byte
+			if op2, b, err = getByte(b); err != nil {
+				return nil, nil, err
+			}
+			if op2 == 0 || storage.Op(op2) > storage.OpExists {
+				return nil, nil, fmt.Errorf("%w: filter op2 %d", errBadFrame, op2)
+			}
+			c.Op2 = storage.Op(op2)
+			if c.Value2, b, err = storage.DecodeValue(b); err != nil {
+				return nil, nil, errBadFrame
+			}
 		}
 		var nv uint64
 		if nv, b, err = getUvarint(b); err != nil {
@@ -789,6 +834,10 @@ func encodeResponse(dst []byte, r *Response) ([]byte, error) {
 	if r.TruncInc != 0 {
 		dst = binary.AppendUvarint(dst, rsTruncI)
 		dst = binary.AppendUvarint(dst, uint64(r.TruncInc))
+	}
+	if r.StaleSecs != 0 {
+		dst = binary.AppendUvarint(dst, rsStaleSecs)
+		dst = binary.AppendVarint(dst, r.StaleSecs)
 	}
 	return dst, nil
 }
@@ -1060,6 +1109,8 @@ func decodeResponse(b []byte, r *Response) error {
 			if v, b, err = getUvarint(b); err == nil {
 				r.TruncInc = uint32(v)
 			}
+		case rsStaleSecs:
+			r.StaleSecs, b, err = getVarint(b)
 		default:
 			return fmt.Errorf("%w: response tag %d", errBadFrame, tag)
 		}

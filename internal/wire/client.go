@@ -188,6 +188,7 @@ var (
 	_ driver.TraceProvider    = (*Client)(nil)
 	_ driver.OplogTailer      = (*Client)(nil)
 	_ driver.LinearizableConn = (*Client)(nil)
+	_ driver.FreshConn        = (*Client)(nil)
 )
 
 // Dial connects to a wire server and fetches the initial topology.
@@ -626,6 +627,45 @@ func (cl *Client) ExecReadMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta 
 	return res, view.seen, view.err
 }
 
+// ExecReadFreshMeta implements driver.FreshConn: like ExecReadMeta,
+// but every round trip of the body requests the serving node's
+// observed staleness (Request.WantFresh → Response.StaleSecs) and the
+// worst value across the body's ops comes back as the third result —
+// the driver stamps cache fills with it so the freshness-priced
+// validity rule prices entries by what the node actually observed.
+// Unrequested, the tag costs zero wire bytes, so plain reads are
+// byte-identical.
+func (cl *Client) ExecReadFreshMeta(p sim.Proc, nodeID int, after oplog.OpTime, meta cluster.ReadMeta, fn func(v cluster.ReadView) (any, error)) (any, oplog.OpTime, int64, error) {
+	view := &remoteReadView{cl: cl, node: nodeID, after: after, bound: meta.BoundSecs, wantFresh: true}
+	live := meta.Ctx.Live()
+	var spanID uint64
+	var start time.Duration
+	if live {
+		spanID = cl.tracer.NewSpanID()
+		tctx := meta.Ctx
+		tctx.SpanID = spanID
+		view.trace = &tctx
+		start = tnow(p)
+	}
+	res, err := fn(view)
+	if live {
+		cl.tracer.Record(trace.Span{
+			Trace:  meta.Ctx.TraceID,
+			ID:     spanID,
+			Parent: meta.Ctx.SpanID,
+			Name:   "client.exec_read",
+			Node:   -1,
+			Start:  start,
+			Dur:    tnow(p) - start,
+			Attrs:  []trace.Attr{{K: "node", V: strconv.Itoa(nodeID)}},
+		})
+	}
+	if err != nil {
+		return nil, oplog.Zero, 0, err
+	}
+	return res, view.seen, view.stale, view.err
+}
+
 // ExecReadLinearizableMeta implements driver.LinearizableConn: every
 // round trip of the body carries read concern linearizable, so the
 // serving node answers under the lease protocol (primary leader lease,
@@ -747,13 +787,21 @@ type remoteReadView struct {
 	// rc is the read concern every op of the body carries (0 = local;
 	// zero wire bytes on both codecs).
 	rc int
+	// wantFresh asks each op for the node's observed staleness; stale
+	// accumulates the worst value seen — the cache fill's price.
+	wantFresh bool
+	stale     int64
 }
 
-// observe folds a response's node OpTime into the view's causal token.
+// observe folds a response's node OpTime into the view's causal token
+// and, for freshness-priced reads, the worst observed staleness.
 func (v *remoteReadView) observe(resp *Response) {
 	ts := oplog.OpTime{Secs: resp.OpSecs, Inc: resp.OpInc}
 	if v.seen.Before(ts) {
 		v.seen = ts
+	}
+	if resp.StaleSecs > v.stale {
+		v.stale = resp.StaleSecs
 	}
 }
 
@@ -763,7 +811,7 @@ func (v *remoteReadView) observe(resp *Response) {
 func (v *remoteReadView) request(op string) *Request {
 	return &Request{
 		Op: op, Node: v.node, AfterSecs: v.after.Secs, AfterInc: v.after.Inc,
-		BoundSecs: v.bound, Trace: v.trace, ReadConcern: v.rc,
+		BoundSecs: v.bound, Trace: v.trace, ReadConcern: v.rc, WantFresh: v.wantFresh,
 	}
 }
 
@@ -791,18 +839,6 @@ func (v *remoteReadView) FindByID(collection, id string) (storage.Document, bool
 		return nil, false
 	}
 	return doc, true
-}
-
-func (v *remoteReadView) FindByIDShared(collection, id string) (storage.Document, bool) {
-	return v.FindByID(collection, id) // no shared memory across the wire
-}
-
-func (v *remoteReadView) FindManyByIDShared(collection string, ids []string) []storage.Document {
-	return v.FindManyByID(collection, ids)
-}
-
-func (v *remoteReadView) FindShared(collection string, f storage.Filter, limit int) []storage.Document {
-	return v.Find(collection, f, limit)
 }
 
 func (v *remoteReadView) FindManyByID(collection string, ids []string) []storage.Document {

@@ -96,6 +96,29 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	f.Add([]byte{rsStatus, 0x02, 0x00, 0x01, 0x01, 0x00, 0x04, 0x00, 0x00}) // invalid member flags
 	f.Add([]byte{rqReadConcern, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})              // oversized read concern
+	// PR 10 freshness-cache surface: a cache-fill read asking for the
+	// observed staleness, the response carrying it, a two-sided filter
+	// condition, and near-miss frames for both.
+	freshReq := Request{ID: 16, Op: OpFindByID, Node: 1, Collection: "kv", DocID: "a",
+		WantFresh: true, BoundSecs: 3}
+	if body, err := encodeRequest(nil, &freshReq); err == nil {
+		f.Add(body)
+	}
+	staleResp := Response{ID: 17, Found: true, OpSecs: 9, OpInc: 2, StaleSecs: 4}
+	staleResp.doc = doc
+	if body, err := encodeResponse(nil, &staleResp); err == nil {
+		f.Add(body)
+	}
+	rangeReq := Request{ID: 18, Op: OpFind, Node: 0, Collection: "kv", Limit: 8}
+	rangeReq.filter = storage.Filter{"_id": storage.Range("doc10", "doc20")}
+	if body, err := encodeRequest(nil, &rangeReq); err == nil {
+		f.Add(body)
+	}
+	f.Add([]byte{rqWantFresh, 0x02})                                                 // invalid flag byte
+	f.Add([]byte{rqWantFresh})                                                       // truncated flag
+	f.Add([]byte{rsStaleSecs, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})                         // unterminated varint
+	f.Add([]byte{rqFilter, 0x01, 0x01, 'k', 0x83, 0x02, 'a'})                        // two-sided bit, frame cut at op2
+	f.Add([]byte{rqFilter, 0x01, 0x01, 'k', 0x83, 0x02, 'a', 0x00, 0x02, 'b', 0x00}) // zero op2
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var rq Request

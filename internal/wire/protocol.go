@@ -128,11 +128,15 @@ const (
 	RCLinearizable = 1
 )
 
-// Cond is the wire form of a filter condition.
+// Cond is the wire form of a filter condition. Op2/Value2 carry the
+// second bound of a two-sided range condition (storage.Cond.Op2);
+// absent for the common one-sided case.
 type Cond struct {
 	Op     string `json:"op"`
 	Value  any    `json:"value,omitempty"`
 	Values []any  `json:"values,omitempty"`
+	Op2    string `json:"op2,omitempty"`
+	Value2 any    `json:"value2,omitempty"`
 }
 
 // Mutation is the wire form of one buffered write. Doc is the JSON
@@ -201,6 +205,10 @@ type Request struct {
 	// ReadConcern selects the read's consistency level (see the RC
 	// constants). Zero — the local default — is absent on the wire.
 	ReadConcern int `json:"read_concern,omitempty"`
+	// WantFresh asks the server to report the staleness it observed
+	// serving this read (Response.StaleSecs) — the freshness-priced
+	// cache's fill stamp. False costs zero wire bytes on both codecs.
+	WantFresh bool `json:"want_fresh,omitempty"`
 	// Spans is the trace_push payload.
 	Spans []trace.Span `json:"spans,omitempty"`
 
@@ -351,6 +359,11 @@ type Response struct {
 	Entries   []EntryBody `json:"entries,omitempty"`
 	TruncSecs int64       `json:"trunc_secs,omitempty"`
 	TruncInc  uint32      `json:"trunc_inc,omitempty"`
+	// StaleSecs reports the staleness the serving node observed at
+	// serve time (whole seconds; 0 when the primary served). Only
+	// filled when the request set WantFresh — unrequested, it costs
+	// zero wire bytes on both codecs.
+	StaleSecs int64 `json:"stale_secs,omitempty"`
 
 	// Typed document results, used by the v2 codec in both directions:
 	// the server fills rawDoc/rawDocs with cached BSON-lite encodings
@@ -461,7 +474,11 @@ func EncodeFilter(f storage.Filter) map[string]Cond {
 	}
 	out := make(map[string]Cond, len(f))
 	for field, c := range f {
-		out[field] = Cond{Op: opName(c.Op), Value: c.Value, Values: c.Values}
+		wc := Cond{Op: opName(c.Op), Value: c.Value, Values: c.Values}
+		if c.Op2 != 0 {
+			wc.Op2, wc.Value2 = opName(c.Op2), c.Value2
+		}
+		out[field] = wc
 	}
 	return out
 }
@@ -490,7 +507,16 @@ func DecodeFilter(m map[string]Cond) (storage.Filter, error) {
 		if len(vals) == 0 {
 			vals = nil
 		}
-		out[field] = storage.Cond{Op: op, Value: val, Values: vals}
+		sc := storage.Cond{Op: op, Value: val, Values: vals}
+		if c.Op2 != "" {
+			if sc.Op2, err = opValue(c.Op2); err != nil {
+				return nil, err
+			}
+			if sc.Value2, err = jsonValue(c.Value2); err != nil {
+				return nil, err
+			}
+		}
+		out[field] = sc
 	}
 	return out, nil
 }
